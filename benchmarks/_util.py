@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper artifact (or one ablation) at a scale
+that keeps the whole harness under a few minutes, prints the resulting
+table (visible with ``pytest benchmarks/ --benchmark-only``), and saves
+it under ``benchmarks/results/`` for EXPERIMENTS.md provenance.
+
+Scale note: the paper runs 200 trials per sweep point; the benches
+default to fewer (the per-bench ``TRIALS`` constants) because the
+qualitative shape — who wins, where the crossover sits — stabilises far
+earlier than the worst-case tail.  ``python -m repro <fig> --full``
+reruns any figure at full paper scale.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n", file=sys.stderr)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

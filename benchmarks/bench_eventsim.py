@@ -1,0 +1,68 @@
+"""Ablation: request-level engine vs the paper's placement model.
+
+The paper (and our Monte-Carlo engine) abstracts queueing away; this
+bench replays the same attack through the discrete-event engine — real
+Poisson arrivals, per-node FIFO queues, finite capacity — and checks the
+two engines agree on the normalized max load, and that the capacity
+corollary (capacity > E[L_max] bound => no drops) holds in the queueing
+world.
+"""
+
+import numpy as np
+import pytest
+from _util import emit
+
+from repro.core.cases import plan_best_attack
+from repro.core.notation import SystemParameters
+from repro.experiments.report import ExperimentResult
+from repro.sim.analytic import simulate_uniform_attack
+from repro.sim.eventsim import EventDrivenSimulator
+from repro.workload.adversarial import AdversarialDistribution
+
+SEED = 65
+N_QUERIES = 60_000
+EVENT_TRIALS = 4
+
+
+def _run():
+    params = SystemParameters(n=50, m=5000, c=25, d=3, rate=10_000.0)
+    columns = {"x": [], "analytic_mean": [], "eventsim_mean": [], "drop_rate": []}
+    for x in (26, 200, 2000):
+        analytic = simulate_uniform_attack(params, x, trials=20, seed=SEED).mean
+        gains, drops = [], []
+        for trial in range(EVENT_TRIALS):
+            sim = EventDrivenSimulator(
+                params, AdversarialDistribution(params.m, x), seed=SEED
+            )
+            outcome = sim.run(N_QUERIES, trial=trial)
+            gains.append(outcome.normalized_max)
+            drops.append(outcome.drop_rate)
+        columns["x"].append(x)
+        columns["analytic_mean"].append(analytic)
+        columns["eventsim_mean"].append(float(np.mean(gains)))
+        columns["drop_rate"].append(float(np.mean(drops)))
+    return params, ExperimentResult(
+        name="eventsim-vs-analytic",
+        description="normalized max load: placement model vs request-level queueing model",
+        columns=columns,
+        config={"n": params.n, "m": params.m, "c": params.c, "d": params.d,
+                "queries": N_QUERIES, "event_trials": EVENT_TRIALS},
+    )
+
+
+def bench_eventsim(benchmark):
+    params, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("eventsim", result.render())
+
+    for analytic, event in zip(
+        result.column("analytic_mean"), result.column("eventsim_mean")
+    ):
+        assert event == pytest.approx(analytic, rel=0.3)
+
+    # Capacity corollary: default capacity is 4 R / n; whenever the
+    # analytic gain stays below 4, drops are negligible.
+    for analytic, drop in zip(
+        result.column("analytic_mean"), result.column("drop_rate")
+    ):
+        if analytic < 3.5:
+            assert drop < 0.01

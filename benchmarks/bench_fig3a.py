@@ -1,0 +1,30 @@
+"""Figure 3(a): normalized max workload vs x, small cache (c = 200).
+
+Paper shape to reproduce: the curve *decreases* with the number of
+queried keys, exceeds 1.0 (effective attack) near ``x = c + 1``, and the
+Eq. (10) bound sits above the measurements.
+"""
+
+from _util import emit
+
+from repro.experiments import run_fig3a
+
+TRIALS = 30  # paper: 200; shape is stable well before that
+SEED = 31
+
+
+def bench_fig3a(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig3a(trials=TRIALS, seed=SEED), rounds=1, iterations=1
+    )
+    emit("fig3a", result.render())
+
+    gains = result.column("sim_max")
+    xs = result.column("x")
+    assert xs[0] == 201
+    assert gains[0] > 1.0, "attack near x = c + 1 must be effective"
+    assert gains[0] > gains[-1], "curve must decrease in x"
+    calibrated = result.column("bound_calib")
+    assert all(g <= b + 1e-9 for g, b in zip(gains, calibrated)), (
+        "calibrated Eq. (10) bound must cover the simulation"
+    )

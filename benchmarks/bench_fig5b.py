@@ -1,0 +1,30 @@
+"""Figure 5(b): number of keys queried by the best adversary vs cache.
+
+Paper shape to reproduce: a step function — ``x = c + 1`` below the
+critical point, jumping to the entire key space ``m`` above it.
+"""
+
+from _util import emit
+
+from repro.experiments import PAPER, run_fig5b
+
+TRIALS = 10
+SEED = 52
+
+
+def bench_fig5b(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig5b(trials=TRIALS, seed=SEED), rounds=1, iterations=1
+    )
+    emit("fig5b", result.render())
+
+    cs = result.column("c")
+    xs = result.column("x_queried")
+    # Every point is one of the two endpoints of the case analysis.
+    assert all(x == c + 1 or x == PAPER.m for c, x in zip(cs, xs))
+    # Both regimes are represented and the step is monotone (once the
+    # adversary switches to the full sweep it never switches back).
+    switched = [x == PAPER.m for x in xs]
+    assert any(switched) and not all(switched)
+    first_switch = switched.index(True)
+    assert all(switched[first_switch:])

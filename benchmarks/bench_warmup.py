@@ -1,0 +1,79 @@
+"""Ablation: cold-start warmup — the attack window after a restart.
+
+The paper's perfect cache is always warm; a restarted real front end
+serves nothing until its policy re-learns the head of the distribution,
+and until then the cluster faces the raw workload.  This bench measures,
+per policy, the steady-state hit rate and the queries (and seconds at
+the paper's offered rate) needed to reach 90% of it under Zipf(1.01).
+"""
+
+from _util import emit
+
+from repro.analysis.warmup import queries_to_warm
+from repro.cache import (
+    ARCCache,
+    FIFOCache,
+    FrequencyAdmissionCache,
+    LFUCache,
+    LRUCache,
+    PerfectCache,
+    TwoQCache,
+)
+from repro.experiments.report import ExperimentResult
+from repro.workload.zipf import ZipfDistribution
+
+M = 20_000
+C = 500
+N_QUERIES = 80_000
+RATE = 100_000.0  # the paper's offered rate: converts queries -> seconds
+SEED = 68
+
+
+def _run():
+    zipf = ZipfDistribution(M, 1.01)
+    keys = zipf.sample(N_QUERIES, rng=SEED).tolist()
+    policies = {
+        "perfect": PerfectCache.from_distribution(zipf.probabilities(), C),
+        "lfu": LFUCache(C),
+        "arc": ARCCache(C),
+        "2q": TwoQCache(C),
+        "tinylfu-lru": FrequencyAdmissionCache(LRUCache(C)),
+        "lru": LRUCache(C),
+        "fifo": FIFOCache(C),
+    }
+    columns = {"policy": [], "steady_hit_rate": [], "queries_to_90pct": [], "seconds_at_100k_qps": []}
+    reports = {}
+    for name, cache in policies.items():
+        report = queries_to_warm(cache, keys, target_fraction=0.9, window=1000)
+        reports[name] = report
+        columns["policy"].append(name)
+        columns["steady_hit_rate"].append(round(report.steady_hit_rate, 3))
+        columns["queries_to_90pct"].append(
+            report.queries_to_warm if report.warmed else -1
+        )
+        columns["seconds_at_100k_qps"].append(
+            round(report.seconds_at(RATE), 3) if report.warmed else -1.0
+        )
+    return reports, ExperimentResult(
+        name="warmup",
+        description="cold-start warmup per cache policy under Zipf(1.01)",
+        columns=columns,
+        config={"m": M, "c": C, "queries": N_QUERIES, "rate": RATE},
+        notes=["queries_to_90pct = -1 means the policy never reached 90% of steady state"],
+    )
+
+
+def bench_warmup(benchmark):
+    reports, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("warmup", result.render())
+
+    # The perfect oracle is born warm: first window within its steady rate.
+    assert reports["perfect"].warmed
+    assert reports["perfect"].queries_to_warm <= 1000
+    # Every real policy eventually warms under benign Zipf.
+    for name, report in reports.items():
+        assert report.warmed, name
+    # Frequency-aware policies reach at least LRU-level steady hit rates.
+    steady = dict(zip(result.column("policy"), result.column("steady_hit_rate")))
+    assert steady["lfu"] >= steady["lru"] - 0.02
+    assert steady["perfect"] >= max(steady.values()) - 0.02

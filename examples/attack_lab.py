@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Attack lab: every strategy in the arsenal vs the same cluster.
+
+Pits the implemented adversaries — point floods of various widths, the
+paper's bound-optimal plan, an adaptive prober that learns the best
+flood width from feedback alone, and benign traffic for scale — against
+one system, under- and properly-provisioned.
+
+Run:  python examples/attack_lab.py        (~20 s)
+"""
+
+from repro import SystemParameters, simulate_distribution
+from repro.adversary import (
+    AdaptiveProbingAdversary,
+    FixedSubsetFlood,
+    OptimalAdversary,
+    UniformFlood,
+    ZipfClient,
+)
+from repro.experiments.report import render_table
+
+TRIALS = 15
+SEED = 13
+K_PRIME = 0.75
+
+
+def gains_against(system: SystemParameters) -> dict:
+    """Worst-case gain of each strategy against ``system``."""
+
+    def measure(distribution):
+        return simulate_distribution(
+            system, distribution, trials=TRIALS, seed=SEED
+        ).worst_case
+
+    strategies = {
+        "flood x=c+1": FixedSubsetFlood(system, x=min(system.c + 1, system.m)),
+        "flood x=2c": FixedSubsetFlood(system, x=min(2 * system.c, system.m)),
+        "flood x=10c": FixedSubsetFlood(system, x=min(10 * system.c, system.m)),
+        "uniform (x=m)": UniformFlood(system),
+        "optimal (paper)": OptimalAdversary(system, k_prime=K_PRIME),
+        "zipf client (benign)": ZipfClient(system),
+    }
+    results = {name: measure(s.distribution()) for name, s in strategies.items()}
+
+    # The adaptive prober gets the simulator itself as its oracle —
+    # black-box feedback, no knowledge of k.
+    prober = AdaptiveProbingAdversary(system, measure, probes=7)
+    prober.probe()
+    results[f"adaptive probe (found x={prober.distribution().x})"] = measure(
+        prober.distribution()
+    )
+    return results
+
+
+def main() -> None:
+    base = SystemParameters(n=200, m=50_000, c=60, d=3, rate=50_000.0)
+    for label, system in (
+        ("UNDER-PROVISIONED", base),
+        ("PROVISIONED PER THE PAPER", base.with_cache(700)),
+    ):
+        results = gains_against(system)
+        columns = {
+            "strategy": list(results.keys()),
+            "worst_gain": [round(g, 3) for g in results.values()],
+            "effective": [g > 1.0 for g in results.values()],
+        }
+        print(render_table(columns, title=f"{label}: {system.describe()}"))
+        print()
+    print(
+        "with the small cache the narrow floods win big (gain ~ n / (c+1));\n"
+        "with the provisioned cache no strategy — not even the adaptive\n"
+        "prober with oracle feedback — pushes any node past the even split."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Capacity planning: cache and headroom across deployment sizes.
+
+The scenario the paper's introduction motivates: you operate randomly
+partitioned storage (memcached / HDFS / Dynamo-style) and must decide,
+for each cluster size you might grow into,
+
+- how many front-end cache entries buy provable DDoS prevention,
+- how much per-node capacity headroom the worst adversary forces before
+  you reach that cache size, and
+- what the same question costs without replication (the SoCC'11 world).
+
+The punchline table shows the required cache is a few entries *per
+node* regardless of how many billions of items the cluster stores.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import SystemParameters, recommend
+from repro.adversary import compare_with_baseline
+from repro.core import baseline_socc11
+from repro.experiments.report import render_table
+
+K_PRIME = 0.75
+RATE = 1e6  # 1M qps offered, scaled with nothing — gains are relative
+ITEMS = 10_000_000
+CURRENT_CACHE = 1000
+CLUSTER_SIZES = (100, 500, 1000, 5000, 20_000, 100_000)
+
+
+def main() -> None:
+    columns = {
+        "nodes": [],
+        "required_cache": [],
+        "entries_per_node": [],
+        "worst_gain_now": [],
+        "headroom_needed_now": [],
+        "d1_best_gain": [],
+    }
+    for n in CLUSTER_SIZES:
+        system = SystemParameters(
+            n=n, m=ITEMS, c=min(CURRENT_CACHE, ITEMS), d=3, rate=RATE
+        )
+        report = recommend(system, k_prime=K_PRIME)
+        unreplicated = baseline_socc11.plan_best_attack(system)
+        columns["nodes"].append(n)
+        columns["required_cache"].append(report.required_cache)
+        columns["entries_per_node"].append(round(report.cache_to_nodes_ratio, 2))
+        columns["worst_gain_now"].append(round(report.worst_gain_bound, 2))
+        columns["headroom_needed_now"].append(
+            round(report.min_capacity / system.even_split, 2)
+        )
+        columns["d1_best_gain"].append(round(unreplicated.gain_bound, 2))
+
+    print(
+        render_table(
+            columns,
+            title=(
+                f"provisioning for {ITEMS:,} items, d=3, current cache "
+                f"{CURRENT_CACHE} entries (k' = {K_PRIME})"
+            ),
+        )
+    )
+    print(
+        "\nreading the table:\n"
+        "- required_cache scales with n only — the item count never appears;\n"
+        "- entries_per_node stays a small constant (the paper's O(n) claim);\n"
+        "- headroom_needed_now = worst-case gain with today's cache: the\n"
+        "  over-provisioning factor you must carry until the cache is grown;\n"
+        "- d1_best_gain: without replication the adversary keeps an effective\n"
+        "  attack at every size — replication is what makes prevention possible."
+    )
+
+    # A concrete before/after for the 1000-node row.
+    system = SystemParameters(n=1000, m=ITEMS, c=CURRENT_CACHE, d=3, rate=RATE)
+    comparison = compare_with_baseline(system, k_prime=K_PRIME)
+    print("\n1000-node deployment, today's cache:")
+    print(comparison.describe())
+
+
+if __name__ == "__main__":
+    main()

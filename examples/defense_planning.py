@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Defense planning: picking d and c together, auditing a real fleet.
+
+Extends the paper's operator story with the toolkit built around it:
+
+1. the cache-vs-replication cost frontier (`plan_defense`): the paper
+   fixes `d` and sizes `c`; with unit costs for fast-memory entries and
+   extra replicas you can optimise both at once;
+2. an operation-mix derating (`OperationMix`): with reads and writes of
+   different back-end cost, an all-write attacker inflates their
+   effective rate — capacity must be planned against that;
+3. a heterogeneous-fleet audit (`audit_capacities`): mixed hardware
+   generations against the worst-case bound, blind vs capacity-aware
+   placement.
+
+Run:  python examples/defense_planning.py        (instant — pure analysis)
+"""
+
+import numpy as np
+
+from repro import SystemParameters
+from repro.core import (
+    audit_capacities,
+    plan_defense,
+    ResourceCosts,
+    utilization_equalizing_bound,
+)
+from repro.experiments.report import render_table
+from repro.workload import OperationMix
+
+N = 2000
+M = 50_000_000
+RATE = 2e6  # 2M qps offered
+K_PRIME = 0.75
+
+
+def main() -> None:
+    # --- 1. choose (c, d) on the cost frontier -------------------------
+    print("1) cache-vs-replication frontier")
+    print("   (cache entry = 1 cost unit; one extra replica of one item = 5e-5)\n")
+    plan = plan_defense(
+        n=N, m=M, costs=ResourceCosts(cache_entry=1.0, replica_item=5e-5)
+    )
+    print(plan.describe())
+    d = plan.best.d
+    c = plan.best.required_cache
+    print(f"\n=> deploy d={d}, c={c} ({c / N:.2f} cache entries per node)\n")
+
+    # --- 2. derate for the operation mix --------------------------------
+    print("2) operation-mix derating")
+    mix = OperationMix({"read": (0.85, 1.0), "write": (0.15, 4.0)})
+    inflation = mix.worst_case_inflation()
+    print(
+        f"   benign mix costs {mix.mean_cost:.2f} units/query; an all-write\n"
+        f"   attacker is {inflation:.2f}x heavier per query, so plan capacity\n"
+        f"   against an effective rate of {RATE * inflation:,.0f} cost-qps, not {RATE:,.0f}.\n"
+    )
+    effective_rate = RATE * inflation
+
+    # --- 3. audit the actual fleet ---------------------------------------
+    print("3) fleet audit under the worst planned attack")
+    system = SystemParameters(n=N, m=M, c=c, d=d, rate=effective_rate)
+    rng = np.random.default_rng(3)
+    # 70% standard nodes, 25% previous-gen at 0.6x, 5% new at 2x.
+    # Standard nodes carry 1.5x the even split — tight, as real fleets are.
+    standard = 1.5 * effective_rate / N
+    capacities = np.full(N, standard)
+    generation = rng.random(N)
+    capacities[generation < 0.25] = 0.6 * standard
+    capacities[generation > 0.95] = 2.0 * standard
+
+    audit = audit_capacities(system, capacities, k_prime=K_PRIME)
+    print(f"   capacity-blind placement : {audit.describe()}")
+
+    hetero_bound = utilization_equalizing_bound(system, capacities, k_prime=K_PRIME)
+    at_risk_aware = int((hetero_bound > capacities).sum())
+    print(
+        f"   capacity-aware placement : {at_risk_aware} node(s) at risk "
+        f"(per-node bound vs capacity, least-utilized pinning)"
+    )
+
+    rows = {
+        "generation": ["previous (0.6x)", "standard", "new (2x)"],
+        "nodes": [
+            int((capacities == 0.6 * standard).sum()),
+            int((capacities == standard).sum()),
+            int((capacities == 2.0 * standard).sum()),
+        ],
+        "capacity_qps": [0.6 * standard, standard, 2.0 * standard],
+        "blind_bound_qps": [audit.worst_load_bound] * 3,
+        "aware_bound_qps": [
+            float(hetero_bound[capacities == 0.6 * standard].max()),
+            float(hetero_bound[capacities == standard].max()),
+            float(hetero_bound[capacities == 2.0 * standard].max()),
+        ],
+    }
+    print()
+    print(render_table(rows, title="   per-generation view", precision=5))
+    print(
+        "\nunder blind placement every node faces the same worst-case load\n"
+        "bound, so the 0.6x generation is the weak link (and here fails the\n"
+        "audit); capacity-aware placement gives each generation a bound\n"
+        "proportional to its capacity, converting the big nodes' headroom\n"
+        "into protection for the small ones — the same fleet passes."
+    )
+
+
+if __name__ == "__main__":
+    main()

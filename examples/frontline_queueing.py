@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Request-level view: what a DDoS actually feels like at the nodes.
+
+The paper's analysis speaks in steady-state rates; this example replays
+the attack through the discrete-event engine — Poisson arrivals, real
+cache policies, per-node FIFO queues with finite capacity — so you can
+see the observable symptoms: hit-rate collapse, tail-latency blowup and
+request drops, and how cache provisioning plus a scan-resistant policy
+removes them.
+
+Scenarios (same adversary rate throughout):
+  A. perfect cache, under-provisioned  -> victim node saturates
+  B. perfect cache, provisioned        -> attack absorbed
+  C. LRU cache,     provisioned        -> cyclic scan defeats LRU
+  D. TinyLFU+LRU,   provisioned        -> admission filter restores B
+
+Run:  python examples/frontline_queueing.py        (~30 s)
+"""
+
+from repro import EventDrivenSimulator, SystemParameters
+from repro.cache import FrequencyAdmissionCache, LRUCache
+from repro.experiments.report import render_table
+from repro.workload import AdversarialDistribution, CyclicScanDistribution
+
+N_QUERIES = 60_000
+SEED = 21
+
+
+def run_scenario(name, params, distribution, cache=None, capacity_factor=1.5):
+    sim = EventDrivenSimulator(
+        params,
+        distribution,
+        cache=cache,
+        node_capacity=capacity_factor * params.even_split,
+        seed=SEED,
+    )
+    result = sim.run(N_QUERIES)
+    return {
+        "scenario": name,
+        "hit_rate": round(result.cache_hit_rate, 3),
+        "backend_share": round(result.backend_queries / N_QUERIES, 3),
+        "gain": round(result.normalized_max, 2),
+        "drop_rate": round(result.drop_rate, 4),
+        "p99_ms": round(result.latency_p99 * 1e3, 2),
+    }
+
+
+def main() -> None:
+    base = SystemParameters(n=50, m=10_000, c=25, d=3, rate=25_000.0)
+    provisioned = base.with_cache(200)  # ~4 entries per node: Case 2
+    attack_small = AdversarialDistribution(base.m, base.c + 1)
+    sweep = AdversarialDistribution(provisioned.m, provisioned.m)
+    scan = CyclicScanDistribution(provisioned.m, 4 * provisioned.c)
+
+    rows = [
+        run_scenario("A: tiny cache, x=c+1 flood", base, attack_small),
+        run_scenario("B: provisioned, full sweep", provisioned, sweep),
+        run_scenario(
+            "C: provisioned but LRU, cyclic scan",
+            provisioned,
+            scan,
+            cache=LRUCache(provisioned.c),
+        ),
+        run_scenario(
+            "D: provisioned TinyLFU+LRU, cyclic scan",
+            provisioned,
+            scan,
+            cache=FrequencyAdmissionCache(LRUCache(provisioned.c)),
+        ),
+    ]
+    columns = {key: [row[key] for row in rows] for key in rows[0]}
+    print(render_table(columns, title=f"{N_QUERIES} Poisson arrivals per scenario"))
+    print(
+        "\nA shows the paper's attack succeeding: one uncached key pins a\n"
+        "node at ~n/(c+1) times the even split — past its 1.5x capacity, so\n"
+        "requests queue (p99 explodes) and drop.  B is the same adversary\n"
+        "against the provisioned cache: gain ~1, zero drops.  C swaps the\n"
+        "perfect cache for LRU and sends the sweep in cyclic order: the hit\n"
+        "rate collapses to 0 and the back end must absorb 100% of the\n"
+        "offered load instead of ~75% — a 1.33x aggregate capacity tax even\n"
+        "though the *relative* imbalance stays modest (wide sweeps spread\n"
+        "evenly; that is exactly the paper's Case-2 insight).  D puts a\n"
+        "TinyLFU admission filter in front of the same LRU and wins back\n"
+        "the cache's share with a real, deployable policy."
+    )
+
+
+if __name__ == "__main__":
+    main()

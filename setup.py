@@ -1,0 +1,10 @@
+"""Legacy installer shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 660 editable
+installs; fully offline environments without it can use
+``python setup.py develop`` instead, which this shim enables.
+"""
+
+from setuptools import setup
+
+setup()

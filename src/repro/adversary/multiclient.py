@@ -1,0 +1,148 @@
+"""Multi-client (botnet) attack coordination.
+
+A DDoS is rarely one client: a botnet of ``k`` sources each contributes
+rate ``R/k``.  Against the *perfect* cache the paper's analysis already
+covers this — the system only sees the aggregate distribution, and
+aggregating ``k`` copies of the optimal pattern is again the optimal
+pattern (linearity, verified in the tests).  Two coordination schemes
+matter once real caches and orderings enter:
+
+- :class:`MirroredBotnet` — every bot sends the same pattern; aggregate
+  = single adversary at rate ``R`` (the paper's model, shown
+  explicitly);
+- :class:`PartitionedBotnet` — bots split the ``x`` keys into disjoint
+  slices.  The aggregate marginals are identical, but each bot's
+  per-connection rate concentrates on fewer keys, which defeats
+  *per-source* rate limiting (each source looks modest) while still
+  mounting the full attack — the reason the paper's front-end-cache
+  defense is more robust than per-client throttling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.notation import SystemParameters
+from ..exceptions import ConfigurationError
+from ..workload.adversarial import AdversarialDistribution
+from ..workload.distributions import CustomDistribution, KeyDistribution
+
+__all__ = ["MirroredBotnet", "PartitionedBotnet", "aggregate_rates"]
+
+
+def aggregate_rates(
+    distributions: Sequence[KeyDistribution], rates: Sequence[float]
+) -> np.ndarray:
+    """Combine per-client patterns into aggregate per-key rates.
+
+    The system is blind to which client sent what; all analysis applies
+    to this aggregate.
+    """
+    if len(distributions) != len(rates) or not distributions:
+        raise ConfigurationError("need equal, non-zero numbers of clients and rates")
+    m = distributions[0].m
+    total = np.zeros(m)
+    for dist, rate in zip(distributions, rates):
+        if dist.m != m:
+            raise ConfigurationError("all clients must share one key space")
+        if rate < 0:
+            raise ConfigurationError("rates must be non-negative")
+        total += dist.probabilities() * rate
+    return total
+
+
+class MirroredBotnet:
+    """``k`` bots, each sending the same x-key uniform pattern at R/k."""
+
+    def __init__(self, public: SystemParameters, x: int, clients: int) -> None:
+        if clients < 1:
+            raise ConfigurationError(f"need at least one client, got {clients}")
+        if not 1 <= x <= public.m:
+            raise ConfigurationError(f"need 1 <= x <= m={public.m}, got x={x}")
+        self._public = public
+        self._x = x
+        self._clients = clients
+
+    @property
+    def clients(self) -> int:
+        """Botnet size."""
+        return self._clients
+
+    def per_client_rate(self) -> float:
+        """Rate each bot contributes."""
+        return self._public.rate / self._clients
+
+    def client_distributions(self) -> List[AdversarialDistribution]:
+        """One identical pattern per bot."""
+        return [
+            AdversarialDistribution(self._public.m, self._x)
+            for _ in range(self._clients)
+        ]
+
+    def aggregate(self) -> KeyDistribution:
+        """The pattern the system actually experiences."""
+        rates = aggregate_rates(
+            self.client_distributions(), [self.per_client_rate()] * self._clients
+        )
+        return CustomDistribution(rates)
+
+
+class PartitionedBotnet:
+    """``k`` bots splitting the ``x`` attacked keys into disjoint slices.
+
+    Bot ``j`` floods keys ``[j * x/k, (j+1) * x/k)`` uniformly at rate
+    ``R/k``.  The aggregate equals the single adversary's pattern, but
+    each bot touches only ``x/k`` keys — per-source anomaly detectors
+    keyed on "number of distinct keys per client" or "per-key rate per
+    client" see nothing unusual.
+    """
+
+    def __init__(self, public: SystemParameters, x: int, clients: int) -> None:
+        if clients < 1:
+            raise ConfigurationError(f"need at least one client, got {clients}")
+        if not clients <= x <= public.m:
+            raise ConfigurationError(
+                f"need clients <= x <= m (every bot needs a slice); "
+                f"got clients={clients}, x={x}, m={public.m}"
+            )
+        self._public = public
+        self._x = x
+        self._clients = clients
+
+    @property
+    def clients(self) -> int:
+        """Botnet size."""
+        return self._clients
+
+    def per_client_rate(self) -> float:
+        """Rate each bot contributes."""
+        return self._public.rate / self._clients
+
+    def slices(self) -> List[Tuple[int, int]]:
+        """Key ranges ``[start, stop)`` per bot (balanced split of x)."""
+        bounds = np.linspace(0, self._x, self._clients + 1).round().astype(int)
+        return [(int(a), int(b)) for a, b in zip(bounds[:-1], bounds[1:])]
+
+    def client_distributions(self) -> List[KeyDistribution]:
+        """One disjoint-slice uniform pattern per bot."""
+        out: List[KeyDistribution] = []
+        for start, stop in self.slices():
+            probs = np.zeros(self._public.m)
+            probs[start:stop] = 1.0 / (stop - start)
+            out.append(CustomDistribution(probs))
+        return out
+
+    def aggregate(self) -> KeyDistribution:
+        """The system-side pattern — equals the single adversary's
+        uniform prefix when the slices are balanced."""
+        rates = aggregate_rates(
+            self.client_distributions(), [self.per_client_rate()] * self._clients
+        )
+        return CustomDistribution(rates)
+
+    def max_keys_per_client(self) -> int:
+        """Largest slice size — the 'distinct keys per source' signal a
+        per-client detector would have to alarm on."""
+        return max(stop - start for start, stop in self.slices())

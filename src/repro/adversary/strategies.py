@@ -1,0 +1,218 @@
+"""Attack strategies.
+
+Each strategy maps public knowledge to a
+:class:`~repro.workload.distributions.KeyDistribution` describing the
+traffic it would send.  The simulators then execute that traffic against
+a system whose internal randomness the strategy never saw.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.cases import optimal_query_count
+from ..core.notation import SystemParameters
+from ..exceptions import ConfigurationError
+from ..workload.adversarial import AdversarialDistribution
+from ..workload.distributions import KeyDistribution, UniformDistribution
+from ..workload.zipf import ZipfDistribution
+
+__all__ = [
+    "Adversary",
+    "OptimalAdversary",
+    "FixedSubsetFlood",
+    "UniformFlood",
+    "ZipfClient",
+    "AdaptiveProbingAdversary",
+]
+
+
+class Adversary(ABC):
+    """A traffic source with public knowledge of the target system."""
+
+    #: Short name used in reports and figure legends.
+    name: str = "abstract"
+
+    def __init__(self, public: SystemParameters) -> None:
+        self._public = public
+
+    @property
+    def public(self) -> SystemParameters:
+        """The public parameters the strategy was planned against."""
+        return self._public
+
+    @abstractmethod
+    def distribution(self) -> KeyDistribution:
+        """The access pattern this adversary sends."""
+
+
+class OptimalAdversary(Adversary):
+    """The paper's bound-optimal strategy (Theorem 1 + case analysis).
+
+    Queries ``x`` keys uniformly, with ``x = c + 1`` when the cache is
+    under-provisioned (Case 1) and ``x = m`` otherwise (Case 2).  The
+    case split needs the folded constant ``k``; an adversary who cannot
+    compute it can recover the same behaviour empirically with
+    :class:`AdaptiveProbingAdversary`.
+    """
+
+    name = "adversarial"
+
+    def __init__(
+        self,
+        public: SystemParameters,
+        k: Optional[float] = None,
+        k_prime: float = 0.0,
+    ) -> None:
+        super().__init__(public)
+        self._x = optimal_query_count(public, k=k, k_prime=k_prime)
+
+    @property
+    def x(self) -> int:
+        """The planned number of queried keys."""
+        return self._x
+
+    def distribution(self) -> AdversarialDistribution:
+        return AdversarialDistribution(self._public.m, self._x)
+
+
+class FixedSubsetFlood(Adversary):
+    """Query a fixed prefix of ``x`` keys uniformly (no optimisation).
+
+    The raw ingredient of Figures 3 and 5: the experiments sweep ``x``
+    explicitly rather than letting the adversary plan.
+    """
+
+    name = "subset-flood"
+
+    def __init__(self, public: SystemParameters, x: int) -> None:
+        super().__init__(public)
+        if not 1 <= x <= public.m:
+            raise ConfigurationError(f"need 1 <= x <= m={public.m}, got x={x}")
+        self._x = x
+
+    @property
+    def x(self) -> int:
+        """Number of keys flooded."""
+        return self._x
+
+    def distribution(self) -> AdversarialDistribution:
+        return AdversarialDistribution(self._public.m, self._x)
+
+
+class UniformFlood(Adversary):
+    """Query the entire key space uniformly.
+
+    Figure 4's "uniform" pattern — a good-citizen baseline that is also
+    the adversary's Case-2 optimum, which is exactly the paper's point:
+    with a provisioned cache the best attack is indistinguishable from
+    ordinary balanced traffic.
+    """
+
+    name = "uniform"
+
+    def distribution(self) -> UniformDistribution:
+        return UniformDistribution(self._public.m)
+
+
+class ZipfClient(Adversary):
+    """Benign skewed traffic, Zipf(1.01) in Figure 4.
+
+    Not an attack: included so experiments can show the same pipeline
+    handling the workloads the front-end cache was actually deployed
+    for (where it shines — the head of the Zipf fits in the cache).
+    """
+
+    name = "zipf"
+
+    def __init__(self, public: SystemParameters, s: float = 1.01) -> None:
+        super().__init__(public)
+        self._s = s
+
+    @property
+    def s(self) -> float:
+        """Zipf exponent."""
+        return self._s
+
+    def distribution(self) -> ZipfDistribution:
+        return ZipfDistribution(self._public.m, self._s)
+
+
+class AdaptiveProbingAdversary(Adversary):
+    """Extension: find the best ``x`` empirically, without knowing ``k``.
+
+    The paper's optimal strategy needs the folded constant ``k`` to pick
+    between ``x = c + 1`` and ``x = m``.  A real attacker can instead
+    *measure*: send probe floods with different ``x``, observe the
+    damage (e.g. tail latency of responses), and keep the best.  Since
+    the gain bound is monotone on either side of the case boundary, a
+    coarse geometric sweep refined around the best probe converges to
+    the planner's choice — which the integration tests verify.
+
+    Parameters
+    ----------
+    public:
+        Public system parameters.
+    feedback:
+        Callable mapping a candidate distribution to the observed attack
+        gain (higher = better for the adversary).  In experiments this
+        is a simulator; in the wild it would be latency probing.
+    probes:
+        Number of geometric sweep points (>= 2).
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        public: SystemParameters,
+        feedback: Callable[[KeyDistribution], float],
+        probes: int = 12,
+    ) -> None:
+        super().__init__(public)
+        if probes < 2:
+            raise ConfigurationError(f"need at least 2 probes, got {probes}")
+        self._feedback = feedback
+        self._probes = probes
+        self._history: List[Tuple[int, float]] = []
+        self._best_x: Optional[int] = None
+
+    @property
+    def history(self) -> List[Tuple[int, float]]:
+        """``(x, observed_gain)`` pairs from the probing phase."""
+        return list(self._history)
+
+    def probe(self) -> int:
+        """Run the probing phase; returns and caches the best ``x``."""
+        lo = min(self._public.c + 1, self._public.m)
+        hi = self._public.m
+        grid = np.unique(
+            np.clip(np.round(np.geomspace(lo, hi, num=self._probes)).astype(int), lo, hi)
+        )
+        best_x, best_gain = lo, -np.inf
+        for x in grid:
+            gain = self._measure(int(x))
+            if gain > best_gain:
+                best_x, best_gain = int(x), gain
+        # Local refinement: one more pass halfway to each neighbour.
+        refinements = {max(lo, best_x // 2), min(hi, best_x * 2), min(hi, best_x + 1)}
+        for x in refinements:
+            if all(x != seen for seen, _ in self._history):
+                gain = self._measure(int(x))
+                if gain > best_gain:
+                    best_x, best_gain = int(x), gain
+        self._best_x = best_x
+        return best_x
+
+    def _measure(self, x: int) -> float:
+        gain = float(self._feedback(AdversarialDistribution(self._public.m, x)))
+        self._history.append((x, gain))
+        return gain
+
+    def distribution(self) -> AdversarialDistribution:
+        if self._best_x is None:
+            self.probe()
+        return AdversarialDistribution(self._public.m, self._best_x)

@@ -1,0 +1,79 @@
+"""Load-distribution metrics beyond the paper's max-load headline.
+
+The paper reports the (normalized) maximum load; operators usually also
+track fairness and percentile spread, so the examples and ablation
+benches report those too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..types import LoadVector
+
+__all__ = [
+    "jain_fairness",
+    "gini_coefficient",
+    "load_percentiles",
+    "normalized_loads",
+]
+
+
+def _as_loads(loads) -> np.ndarray:
+    if isinstance(loads, LoadVector):
+        arr = loads.loads
+    else:
+        arr = np.asarray(loads, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise AnalysisError("loads must be a non-empty 1-D vector")
+    if np.any(arr < 0):
+        raise AnalysisError("loads must be non-negative")
+    return arr
+
+
+def jain_fairness(loads) -> float:
+    """Jain's fairness index: ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly even; ``1/n`` means all load on one node.
+    Returns 1.0 for an all-zero vector (vacuously fair).
+    """
+    arr = _as_loads(loads)
+    total_sq = float(arr.sum()) ** 2
+    denom = arr.size * float((arr**2).sum())
+    if denom == 0:
+        return 1.0
+    return total_sq / denom
+
+
+def gini_coefficient(loads) -> float:
+    """Gini coefficient of the load distribution (0 = even, ->1 = skewed)."""
+    arr = np.sort(_as_loads(loads))
+    total = float(arr.sum())
+    if total == 0:
+        return 0.0
+    n = arr.size
+    ranks = np.arange(1, n + 1)
+    return float((2.0 * (ranks * arr).sum()) / (n * total) - (n + 1) / n)
+
+
+def load_percentiles(
+    loads, percentiles: Sequence[float] = (50, 90, 95, 99, 100)
+) -> Dict[float, float]:
+    """Named percentiles of the per-node load distribution."""
+    arr = _as_loads(loads)
+    return {float(p): float(np.percentile(arr, p)) for p in percentiles}
+
+
+def normalized_loads(loads: LoadVector) -> np.ndarray:
+    """Each node's load divided by the even split ``R/n``.
+
+    The vector whose maximum is the attack gain.
+    """
+    if not isinstance(loads, LoadVector):
+        raise AnalysisError("normalized_loads needs a LoadVector (it carries R)")
+    if loads.total_rate == 0:
+        return np.zeros_like(loads.loads)
+    return loads.loads / loads.even_split

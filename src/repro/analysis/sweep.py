@@ -1,0 +1,64 @@
+"""Generic parameter sweeps with tidy, column-oriented results."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..exceptions import AnalysisError
+
+__all__ = ["sweep"]
+
+
+def sweep(
+    values: Sequence,
+    measure: Callable[[object], Mapping[str, float]],
+    value_name: str = "value",
+) -> Dict[str, List]:
+    """Evaluate ``measure`` at each sweep point; return columns.
+
+    Parameters
+    ----------
+    values:
+        Sweep points (e.g. cache sizes, node counts, x values).
+    measure:
+        Callable returning a ``{column: number}`` mapping per point.
+        Every point must yield the same columns.
+    value_name:
+        Column name for the sweep variable itself.
+
+    Returns
+    -------
+    dict
+        ``{value_name: [...], col1: [...], col2: [...]}`` — directly
+        consumable by the table renderer and easy to zip into rows.
+
+    Examples
+    --------
+    >>> table = sweep([1, 2, 3], lambda v: {"square": v * v}, value_name="v")
+    >>> table["square"]
+    [1, 4, 9]
+    """
+    values = list(values)
+    if not values:
+        raise AnalysisError("sweep needs at least one point")
+    columns: Dict[str, List] = {value_name: []}
+    expected: Sequence[str] = None
+    for point in values:
+        row = measure(point)
+        if expected is None:
+            expected = tuple(row.keys())
+            for name in expected:
+                if name == value_name:
+                    raise AnalysisError(
+                        f"measure() must not reuse the sweep column name {value_name!r}"
+                    )
+                columns[name] = []
+        elif tuple(row.keys()) != expected:
+            raise AnalysisError(
+                f"measure() changed columns at point {point!r}: "
+                f"expected {expected}, got {tuple(row.keys())}"
+            )
+        columns[value_name].append(point)
+        for name in expected:
+            columns[name].append(row[name])
+    return columns

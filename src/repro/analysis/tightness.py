@@ -1,0 +1,83 @@
+"""Bound-vs-simulation tightness (the "small gap" claim of Figure 3).
+
+The paper notes its Eq. (10) bound "has a small gap between numerical
+results".  Given paired series — the simulated normalized max load and
+the analytic bound at the same sweep points — this module quantifies
+that gap: violations (simulation above bound), worst and mean slack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = ["TightnessReport", "bound_tightness"]
+
+
+@dataclass(frozen=True)
+class TightnessReport:
+    """Gap statistics between a bound series and a measured series.
+
+    Attributes
+    ----------
+    points:
+        Number of sweep points compared.
+    violations:
+        Points where the measurement exceeded the bound (should be 0 for
+        a valid bound, modulo Monte-Carlo noise).
+    max_violation:
+        Largest measured-minus-bound excess (0 when no violations).
+    mean_slack, max_slack:
+        Average and worst bound-minus-measured slack over
+        non-violating points — smaller means tighter.
+    relative_mean_slack:
+        ``mean_slack`` divided by the mean measured value.
+    """
+
+    points: int
+    violations: int
+    max_violation: float
+    mean_slack: float
+    max_slack: float
+    relative_mean_slack: float
+
+    @property
+    def valid(self) -> bool:
+        """True when the bound held at every sweep point."""
+        return self.violations == 0
+
+    def describe(self) -> str:
+        """Human-readable summary line."""
+        status = "holds" if self.valid else f"VIOLATED at {self.violations} point(s)"
+        return (
+            f"bound {status} over {self.points} points; "
+            f"mean slack {self.mean_slack:.3f} "
+            f"({100 * self.relative_mean_slack:.1f}% of measurement), "
+            f"max slack {self.max_slack:.3f}"
+        )
+
+
+def bound_tightness(
+    measured: Sequence[float], bound: Sequence[float]
+) -> TightnessReport:
+    """Compare a measured series against its analytic bound pointwise."""
+    meas = np.asarray(measured, dtype=float)
+    bnd = np.asarray(bound, dtype=float)
+    if meas.shape != bnd.shape or meas.ndim != 1 or meas.size == 0:
+        raise AnalysisError("measured and bound must be equal-length 1-D series")
+    diff = bnd - meas
+    violating = diff < 0
+    slack = diff[~violating]
+    mean_meas = float(meas.mean())
+    return TightnessReport(
+        points=int(meas.size),
+        violations=int(violating.sum()),
+        max_violation=float(-diff[violating].min()) if violating.any() else 0.0,
+        mean_slack=float(slack.mean()) if slack.size else 0.0,
+        max_slack=float(slack.max()) if slack.size else 0.0,
+        relative_mean_slack=(float(slack.mean()) / mean_meas) if slack.size and mean_meas > 0 else 0.0,
+    )

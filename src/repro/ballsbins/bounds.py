@@ -1,0 +1,79 @@
+"""Published maximum-load bounds for balls-into-bins processes.
+
+Two regimes matter for the paper:
+
+- **one choice** (``d = 1``, the SoCC'11 baseline): for ``M >> N ln N``,
+  Raab & Steger (RANDOM'98) give max load ``M/N + sqrt(2 M ln N / N)``
+  w.h.p.;
+- **d choices** (``d >= 2``, this paper): Berenbrink, Czumaj, Steger &
+  Voecking (STOC'00) give max load ``M/N + log log N / log d + Theta(1)``
+  w.h.p., *independent of M* beyond the average term — the key fact that
+  makes the replicated cache bound O(n) instead of growing with the
+  attack size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exceptions import ConfigurationError
+
+__all__ = [
+    "one_choice_max_load_bound",
+    "d_choice_max_load_bound",
+    "max_load_bound",
+]
+
+
+def one_choice_max_load_bound(balls: int, bins: int) -> float:
+    """Raab-Steger heavily-loaded max-load estimate for one choice.
+
+    ``balls/bins + sqrt(2 balls ln(bins) / bins)``.  Exact asymptotics
+    need ``balls >= bins * ln(bins)``; below that the estimate is loose
+    but directionally correct, which suffices for baseline comparisons.
+    """
+    if balls < 0:
+        raise ConfigurationError(f"balls must be non-negative, got {balls}")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    if balls == 0:
+        return 0.0
+    if bins == 1:
+        return float(balls)
+    return balls / bins + math.sqrt(2.0 * balls * math.log(bins) / bins)
+
+
+def d_choice_max_load_bound(
+    balls: int, bins: int, d: int, k_prime: float = 0.0
+) -> float:
+    """Berenbrink et al. heavily-loaded max-load bound for d choices.
+
+    ``balls/bins + log log bins / log d + k'`` with the Theta(1)
+    remainder exposed as ``k_prime`` (calibrate it with
+    :func:`repro.ballsbins.occupancy.calibrate_k_prime`).
+    """
+    if balls < 0:
+        raise ConfigurationError(f"balls must be non-negative, got {balls}")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    if d < 2:
+        raise ConfigurationError(
+            f"the d-choice bound needs d >= 2, got {d}; use one_choice_max_load_bound"
+        )
+    if balls == 0:
+        return 0.0
+    excess = 0.0
+    if bins > math.e:
+        excess = math.log(math.log(bins)) / math.log(d)
+    return balls / bins + excess + k_prime
+
+
+def max_load_bound(balls: int, bins: int, d: int, k_prime: float = 0.0) -> float:
+    """Dispatch to the right published bound for the given ``d``.
+
+    ``k_prime`` only affects the ``d >= 2`` branch (the one-choice bound
+    already carries its own lower-order structure).
+    """
+    if d == 1:
+        return one_choice_max_load_bound(balls, bins)
+    return d_choice_max_load_bound(balls, bins, d, k_prime=k_prime)

@@ -1,0 +1,77 @@
+"""Front-end cache substrate.
+
+The paper assumes a *perfect* popularity cache (assumption 2: the ``c``
+most popular items always hit).  :class:`~repro.cache.perfect.PerfectCache`
+implements exactly that; the remaining policies are real replacement
+algorithms (LRU, FIFO, CLOCK, LFU, LFU-aging, 2Q, ARC, random) used by
+the ablation benches to measure how closely practice tracks the
+assumption under adversarial and benign workloads, plus a TinyLFU-style
+admission filter that hardens any of them against scan floods.
+"""
+
+from .base import Cache, CacheStats, EvictingCache
+from .perfect import PerfectCache
+from .fifo import FIFOCache
+from .lru import LRUCache
+from .random_evict import RandomEvictionCache
+from .clock import ClockCache
+from .lfu import LFUCache
+from .lfu_aging import LFUAgingCache
+from .twoq import TwoQCache
+from .arc import ARCCache
+from .slru import SLRUCache
+from .sieve import SieveCache
+from .sketch import CountMinSketch
+from .admission import FrequencyAdmissionCache
+
+__all__ = [
+    "Cache",
+    "EvictingCache",
+    "CacheStats",
+    "PerfectCache",
+    "FIFOCache",
+    "LRUCache",
+    "RandomEvictionCache",
+    "ClockCache",
+    "LFUCache",
+    "LFUAgingCache",
+    "TwoQCache",
+    "ARCCache",
+    "SLRUCache",
+    "SieveCache",
+    "CountMinSketch",
+    "FrequencyAdmissionCache",
+    "make_cache",
+]
+
+
+_FACTORIES = {
+    "perfect": PerfectCache,
+    "fifo": FIFOCache,
+    "lru": LRUCache,
+    "random": RandomEvictionCache,
+    "clock": ClockCache,
+    "lfu": LFUCache,
+    "lfu-aging": LFUAgingCache,
+    "2q": TwoQCache,
+    "arc": ARCCache,
+    "slru": SLRUCache,
+    "sieve": SieveCache,
+}
+
+
+def make_cache(name: str, capacity: int, **kwargs) -> Cache:
+    """Construct a cache policy by short name.
+
+    >>> make_cache("lru", 4).capacity
+    4
+    """
+    from ..exceptions import ConfigurationError
+
+    try:
+        cls = _FACTORIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cache policy {name!r}; choose from {sorted(_FACTORIES)}"
+        ) from None
+    return cls(capacity, **kwargs)

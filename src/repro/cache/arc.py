@@ -1,0 +1,115 @@
+"""ARC — Adaptive Replacement Cache (Megiddo & Modha, FAST'03)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from .base import Cache
+
+__all__ = ["ARCCache"]
+
+
+class ARCCache(Cache):
+    """ARC balances recency (T1) and frequency (T2) adaptively.
+
+    Two resident lists (T1 recency, T2 frequency) and two ghost lists
+    (B1, B2) steer an adaptation target ``p``: ghost hits in B1 grow the
+    recency share, ghost hits in B2 shrink it.  ARC is scan-resistant
+    like 2Q but self-tunes, making it the strongest practical contender
+    against the perfect-cache assumption in the ablation bench.
+
+    Implementation follows the FAST'03 pseudocode with keys only (values
+    are irrelevant to load-balancing experiments).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._t1: "OrderedDict[int, None]" = OrderedDict()  # recent, resident
+        self._t2: "OrderedDict[int, None]" = OrderedDict()  # frequent, resident
+        self._b1: "OrderedDict[int, None]" = OrderedDict()  # recent, ghost
+        self._b2: "OrderedDict[int, None]" = OrderedDict()  # frequent, ghost
+        self._p = 0.0  # adaptation target for |T1|
+
+    def __len__(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    def keys(self) -> Iterable[int]:
+        yield from self._t1
+        yield from self._t2
+
+    @property
+    def p(self) -> float:
+        """Current adaptation target for the recency list size."""
+        return self._p
+
+    @property
+    def recency_size(self) -> int:
+        """Resident keys in T1."""
+        return len(self._t1)
+
+    @property
+    def frequency_size(self) -> int:
+        """Resident keys in T2."""
+        return len(self._t2)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._t1 or key in self._t2
+
+    def _on_hit(self, key: int) -> None:
+        # Case I of the paper: move to MRU of T2.
+        if key in self._t1:
+            del self._t1[key]
+        else:
+            del self._t2[key]
+        self._t2[key] = None
+
+    def _replace(self, in_b2: bool) -> None:
+        """REPLACE subroutine: evict from T1 or T2 into its ghost list."""
+        if self._t1 and (
+            len(self._t1) > self._p or (in_b2 and len(self._t1) == int(self._p))
+        ):
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        elif self._t2:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        elif self._t1:  # pragma: no cover - defensive
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        self.stats.evictions += 1
+
+    def _admit(self, key: int) -> None:
+        c = self._capacity
+        if key in self._b1:
+            # Case II: ghost hit in B1 — favour recency.
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self._p = min(float(c), self._p + delta)
+            self._replace(in_b2=False)
+            del self._b1[key]
+            self._t2[key] = None
+        elif key in self._b2:
+            # Case III: ghost hit in B2 — favour frequency.
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self._p = max(0.0, self._p - delta)
+            self._replace(in_b2=True)
+            del self._b2[key]
+            self._t2[key] = None
+        else:
+            # Case IV: brand-new key.
+            l1 = len(self._t1) + len(self._b1)
+            l2 = len(self._t2) + len(self._b2)
+            if l1 == c:
+                if len(self._t1) < c:
+                    self._b1.popitem(last=False)
+                    self._replace(in_b2=False)
+                else:
+                    victim, _ = self._t1.popitem(last=False)
+                    self.stats.evictions += 1
+            elif l1 < c and l1 + l2 >= c:
+                if l1 + l2 >= 2 * c:
+                    self._b2.popitem(last=False)
+                if len(self) >= c:
+                    self._replace(in_b2=False)
+            self._t1[key] = None
+        self.stats.insertions += 1

@@ -1,0 +1,145 @@
+"""Cache interface and shared accounting.
+
+Two invariants every implementation must uphold (and the property tests
+enforce):
+
+1. the cache never holds more than ``capacity`` items;
+2. ``access(key)`` reports a hit iff ``key`` was resident when called.
+
+A zero-capacity cache is legal and simply misses everything — useful as
+the "no cache" baseline in experiments.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..exceptions import CacheError
+
+__all__ = ["CacheStats", "Cache", "EvictingCache"]
+
+
+@dataclass
+class CacheStats:
+    """Running counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 before any access)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.hits = self.misses = self.insertions = self.evictions = 0
+
+
+class Cache(ABC):
+    """A front-end cache: look up a key, admit it on a miss.
+
+    Subclasses implement residency (:meth:`_contains`), the hit-path
+    bookkeeping (:meth:`_on_hit`) and the miss-path admission
+    (:meth:`_admit`); this base class owns the statistics so hit-rate
+    accounting is uniform across policies.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise CacheError(f"capacity must be non-negative, got {capacity}")
+        self._capacity = capacity
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of resident items."""
+        return self._capacity
+
+    def access(self, key: int) -> bool:
+        """Look up ``key``; admit it on a miss.  Returns True on a hit."""
+        if self._capacity == 0:
+            self.stats.misses += 1
+            return False
+        if self._contains(key):
+            self.stats.hits += 1
+            self._on_hit(key)
+            return True
+        self.stats.misses += 1
+        self._admit(key)
+        return False
+
+    def __contains__(self, key: int) -> bool:
+        return self._capacity > 0 and self._contains(key)
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of items currently resident."""
+
+    @abstractmethod
+    def keys(self) -> Iterable[int]:
+        """Currently resident keys (order unspecified)."""
+
+    @abstractmethod
+    def _contains(self, key: int) -> bool:
+        """Residency check without statistics side effects."""
+
+    @abstractmethod
+    def _on_hit(self, key: int) -> None:
+        """Policy bookkeeping for a hit (recency/frequency updates)."""
+
+    @abstractmethod
+    def _admit(self, key: int) -> None:
+        """Handle a missed key: usually insert, evicting if full."""
+
+
+class EvictingCache(Cache):
+    """A cache whose miss path is insert-with-eviction.
+
+    Factors the common pattern so concrete policies only provide the
+    victim choice (:meth:`_select_victim`) and the insert/touch
+    bookkeeping.  Policies with more exotic miss paths (ghost lists,
+    admission filters) extend :class:`Cache` directly.
+    """
+
+    def _admit(self, key: int) -> None:
+        if len(self) >= self._capacity:
+            victim = self._select_victim()
+            if victim is not None:
+                self._remove(victim)
+                self.stats.evictions += 1
+        self._insert(key)
+        self.stats.insertions += 1
+
+    @abstractmethod
+    def _select_victim(self) -> Optional[int]:
+        """Choose the key to evict (cache is full when this is called)."""
+
+    @abstractmethod
+    def _remove(self, key: int) -> None:
+        """Remove ``key`` from the cache."""
+
+    @abstractmethod
+    def _insert(self, key: int) -> None:
+        """Insert a non-resident ``key`` (space is available)."""
+
+    def peek_victim(self) -> Optional[int]:
+        """Key that would be evicted next, without evicting it.
+
+        Used by admission filters to compare the candidate against the
+        incumbent victim.
+        """
+        if len(self) == 0:
+            return None
+        return self._select_victim()

@@ -1,0 +1,80 @@
+"""CLOCK (second-chance) replacement."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from .base import EvictingCache
+
+__all__ = ["ClockCache"]
+
+
+class ClockCache(EvictingCache):
+    """CLOCK: LRU approximation with one reference bit per entry.
+
+    A hand sweeps a circular buffer; referenced entries get a second
+    chance (bit cleared, hand advances), unreferenced ones are evicted.
+    This is what real page caches and many in-memory caches ship because
+    hits are a single bit-set with no list manipulation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._slots: List[Optional[int]] = []
+        self._refbit: List[bool] = []
+        self._where: Dict[int, int] = {}
+        self._hand = 0
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def keys(self) -> Iterable[int]:
+        return iter(self._where)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._where
+
+    def _on_hit(self, key: int) -> None:
+        self._refbit[self._where[key]] = True
+
+    def _select_victim(self) -> Optional[int]:
+        if not self._where:
+            return None
+        # Sweep until an unreferenced slot is found; clear bits on the way.
+        # Terminates within two full sweeps since bits only get cleared.
+        while True:
+            self._hand %= len(self._slots)
+            key = self._slots[self._hand]
+            if key is None:
+                self._hand += 1
+                continue
+            if self._refbit[self._hand]:
+                self._refbit[self._hand] = False
+                self._hand += 1
+            else:
+                # Advance past the victim so the next sweep does not
+                # immediately re-target whatever replaces it (real CLOCK
+                # semantics; without this the policy degenerates into
+                # evict-most-recent under scans).
+                self._hand += 1
+                return key
+
+    def _remove(self, key: int) -> None:
+        pos = self._where.pop(key)
+        self._slots[pos] = None
+        self._refbit[pos] = False
+
+    def _insert(self, key: int) -> None:
+        # New entries start with the reference bit CLEAR (classic CLOCK):
+        # only a subsequent hit earns the second chance, otherwise a
+        # one-shot insertion would survive a full sweep undeservedly.
+        # Reuse a free slot if one exists (the one just vacated), else grow.
+        for pos in range(len(self._slots)):
+            if self._slots[pos] is None:
+                self._slots[pos] = key
+                self._refbit[pos] = False
+                self._where[key] = pos
+                return
+        self._slots.append(key)
+        self._refbit.append(False)
+        self._where[key] = len(self._slots) - 1

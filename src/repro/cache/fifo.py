@@ -1,0 +1,45 @@
+"""First-in-first-out replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from .base import EvictingCache
+
+__all__ = ["FIFOCache"]
+
+
+class FIFOCache(EvictingCache):
+    """FIFO: evict in insertion order, ignoring hits entirely.
+
+    The cheapest real policy; included because memcached-style slab
+    reuse often degenerates to FIFO under churn, and because it gives
+    the cleanest contrast with recency-aware LRU under scan attacks
+    (they behave identically there — neither retains the scanned keys).
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterable[int]:
+        return iter(self._entries)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._entries
+
+    def _on_hit(self, key: int) -> None:
+        pass  # insertion order is unaffected by hits
+
+    def _select_victim(self) -> Optional[int]:
+        return next(iter(self._entries), None)
+
+    def _remove(self, key: int) -> None:
+        del self._entries[key]
+
+    def _insert(self, key: int) -> None:
+        self._entries[key] = None

@@ -1,0 +1,75 @@
+"""Least-frequently-used replacement (exact, O(1))."""
+
+from __future__ import annotations
+
+from collections import OrderedDict, defaultdict
+from typing import Dict, Iterable, Optional
+
+from .base import EvictingCache
+
+__all__ = ["LFUCache"]
+
+
+class LFUCache(EvictingCache):
+    """Exact LFU with O(1) operations via frequency buckets.
+
+    Keys live in per-frequency ordered buckets; a hit moves the key up
+    one bucket, eviction takes the least-recently-used key of the lowest
+    occupied frequency (LRU tie-break, the standard refinement).
+
+    LFU is the closest practical policy to the paper's perfect
+    popularity cache for *stationary* workloads — and indeed the cache
+    ablation bench shows it tracks the PerfectCache line closely under
+    both benign and adversarial traffic.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._freq: Dict[int, int] = {}
+        self._buckets: "defaultdict[int, OrderedDict[int, None]]" = defaultdict(OrderedDict)
+        self._min_freq = 0
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+    def keys(self) -> Iterable[int]:
+        return iter(self._freq)
+
+    def frequency(self, key: int) -> int:
+        """Current frequency counter of a resident key (0 if absent)."""
+        return self._freq.get(key, 0)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._freq
+
+    def _bump(self, key: int) -> None:
+        freq = self._freq[key]
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq[key] = freq + 1
+        self._buckets[freq + 1][key] = None
+
+    def _on_hit(self, key: int) -> None:
+        self._bump(key)
+
+    def _select_victim(self) -> Optional[int]:
+        if not self._freq:
+            return None
+        bucket = self._buckets[self._min_freq]
+        return next(iter(bucket))
+
+    def _remove(self, key: int) -> None:
+        freq = self._freq.pop(key)
+        bucket = self._buckets[freq]
+        del bucket[key]
+        if not bucket:
+            del self._buckets[freq]
+
+    def _insert(self, key: int) -> None:
+        self._freq[key] = 1
+        self._buckets[1][key] = None
+        self._min_freq = 1

@@ -1,0 +1,57 @@
+"""Random replacement."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+import numpy as np
+
+from ..rng import as_generator
+from .base import EvictingCache
+
+__all__ = ["RandomEvictionCache"]
+
+
+class RandomEvictionCache(EvictingCache):
+    """Evict a uniformly random resident key.
+
+    Memoryless and therefore immune to *pattern*-based eviction attacks,
+    at the cost of no popularity retention at all.  Implemented with the
+    standard dict + swap-pop array trick for O(1) random choice.
+    """
+
+    def __init__(
+        self, capacity: int, rng: Union[None, int, np.random.Generator] = None
+    ) -> None:
+        super().__init__(capacity)
+        self._rng = as_generator(rng, "random-evict")
+        self._index: Dict[int, int] = {}
+        self._order: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def keys(self) -> Iterable[int]:
+        return iter(self._order)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._index
+
+    def _on_hit(self, key: int) -> None:
+        pass  # memoryless
+
+    def _select_victim(self) -> Optional[int]:
+        if not self._order:
+            return None
+        return self._order[int(self._rng.integers(0, len(self._order)))]
+
+    def _remove(self, key: int) -> None:
+        pos = self._index.pop(key)
+        last = self._order.pop()
+        if last != key:
+            self._order[pos] = last
+            self._index[last] = pos
+
+    def _insert(self, key: int) -> None:
+        self._index[key] = len(self._order)
+        self._order.append(key)

@@ -1,0 +1,92 @@
+"""SIEVE replacement (Zhang et al., NSDI'24)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from .base import EvictingCache
+
+__all__ = ["SieveCache"]
+
+
+class _Node:
+    __slots__ = ("key", "visited", "prev", "next")
+
+    def __init__(self, key: int) -> None:
+        self.key = key
+        self.visited = False
+        self.prev: Optional["_Node"] = None
+        self.next: Optional["_Node"] = None
+
+
+class SieveCache(EvictingCache):
+    """SIEVE: lazy-promotion FIFO with a retention hand.
+
+    Entries sit in insertion order; a hit just sets a visited bit (no
+    list movement, like CLOCK).  Eviction sweeps a *hand* from tail to
+    head: visited entries get their bit cleared and survive in place,
+    the first unvisited entry is evicted and the hand rests just before
+    it.  Because survivors keep their position (no reinsertion), one-hit
+    wonders sift out quickly — SIEVE is simpler than LRU yet
+    scan-resistant, which is why it is included alongside the classics
+    in the cache ablation.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._nodes: Dict[int, _Node] = {}
+        self._head: Optional[_Node] = None  # newest
+        self._tail: Optional[_Node] = None  # oldest
+        self._hand: Optional[_Node] = None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def keys(self) -> Iterable[int]:
+        return iter(self._nodes)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._nodes
+
+    def _on_hit(self, key: int) -> None:
+        self._nodes[key].visited = True
+
+    def _select_victim(self) -> Optional[int]:
+        if not self._nodes:
+            return None
+        node = self._hand if self._hand is not None else self._tail
+        # Sweep from the tail (oldest) toward the head, clearing visited
+        # bits; wraps at most twice (after one full sweep every bit is
+        # clear, so an unvisited entry must be found).
+        for _ in range(2 * len(self._nodes) + 1):
+            if node is None:
+                node = self._tail
+            if not node.visited:
+                self._hand = node.next
+                return node.key
+            node.visited = False
+            node = node.next
+        return self._tail.key  # pragma: no cover - defensive
+
+    def _remove(self, key: int) -> None:
+        node = self._nodes.pop(key)
+        if self._hand is node:
+            self._hand = node.next
+        if node.prev is not None:
+            node.prev.next = node.next
+        else:
+            self._tail = node.next
+        if node.next is not None:
+            node.next.prev = node.prev
+        else:
+            self._head = node.prev
+
+    def _insert(self, key: int) -> None:
+        node = _Node(key)
+        node.prev = self._head
+        if self._head is not None:
+            self._head.next = node
+        self._head = node
+        if self._tail is None:
+            self._tail = node
+        self._nodes[key] = node

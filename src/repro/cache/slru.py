@@ -1,0 +1,81 @@
+"""Segmented LRU (SLRU) replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from ..exceptions import CacheError
+from .base import Cache
+
+__all__ = ["SLRUCache"]
+
+
+class SLRUCache(Cache):
+    """SLRU: a probationary LRU segment feeding a protected LRU segment.
+
+    New keys enter probation; a hit in probation promotes to the
+    protected segment; protected evictions demote back to probation's
+    MRU end.  One re-reference therefore shields a key from one-shot
+    scans — the lightweight ancestor of 2Q (no ghost list) that caching
+    layers like Caffeine use as their main structure under TinyLFU.
+
+    Parameters
+    ----------
+    capacity:
+        Total resident items across both segments.
+    protected_fraction:
+        Share of capacity reserved for the protected segment
+        (default 0.8, the classic SLRU recommendation).
+    """
+
+    def __init__(self, capacity: int, protected_fraction: float = 0.8) -> None:
+        super().__init__(capacity)
+        if not 0.0 < protected_fraction < 1.0:
+            raise CacheError(
+                f"protected_fraction must be in (0, 1), got {protected_fraction}"
+            )
+        self._protected_cap = int(capacity * protected_fraction) if capacity else 0
+        self._probation: "OrderedDict[int, None]" = OrderedDict()
+        self._protected: "OrderedDict[int, None]" = OrderedDict()
+
+    @property
+    def probation_size(self) -> int:
+        """Resident keys in the probationary segment."""
+        return len(self._probation)
+
+    @property
+    def protected_size(self) -> int:
+        """Resident keys in the protected segment."""
+        return len(self._protected)
+
+    def __len__(self) -> int:
+        return len(self._probation) + len(self._protected)
+
+    def keys(self) -> Iterable[int]:
+        yield from self._probation
+        yield from self._protected
+
+    def _contains(self, key: int) -> bool:
+        return key in self._probation or key in self._protected
+
+    def _on_hit(self, key: int) -> None:
+        if key in self._protected:
+            self._protected.move_to_end(key)
+            return
+        # Probation hit: promote, demoting a protected victim if full.
+        del self._probation[key]
+        if len(self._protected) >= max(1, self._protected_cap):
+            demoted, _ = self._protected.popitem(last=False)
+            self._probation[demoted] = None
+        self._protected[key] = None
+
+    def _admit(self, key: int) -> None:
+        if len(self) >= self._capacity:
+            if self._probation:
+                self._probation.popitem(last=False)
+            else:  # pathological: everything protected
+                self._protected.popitem(last=False)
+            self.stats.evictions += 1
+        self._probation[key] = None
+        self.stats.insertions += 1

@@ -1,0 +1,95 @@
+"""2Q replacement (Johnson & Shasha, VLDB'94)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from ..exceptions import CacheError
+from .base import Cache
+
+__all__ = ["TwoQCache"]
+
+
+class TwoQCache(Cache):
+    """Simplified full 2Q: probation FIFO (A1in), ghost FIFO (A1out),
+    protected LRU (Am).
+
+    New keys enter the probation queue; only keys re-referenced after
+    falling into the ghost list are promoted to the protected LRU.  This
+    makes one-shot scans — including the paper's uniform attack sweep —
+    unable to displace the protected set, a property the cache ablation
+    bench shows clearly against plain LRU.
+
+    Sizing follows the paper's recommendation: ``Kin = capacity / 4``
+    probation slots, ``Kout = capacity / 2`` ghost entries (ghosts hold
+    keys only and do not count against capacity).
+    """
+
+    def __init__(self, capacity: int, kin_fraction: float = 0.25, kout_fraction: float = 0.5) -> None:
+        super().__init__(capacity)
+        if not 0.0 < kin_fraction < 1.0:
+            raise CacheError(f"kin_fraction must be in (0, 1), got {kin_fraction}")
+        if kout_fraction <= 0.0:
+            raise CacheError(f"kout_fraction must be positive, got {kout_fraction}")
+        self._kin = max(1, int(capacity * kin_fraction)) if capacity else 0
+        self._kout = max(1, int(capacity * kout_fraction)) if capacity else 0
+        self._a1in: "OrderedDict[int, None]" = OrderedDict()   # probation FIFO
+        self._a1out: "OrderedDict[int, None]" = OrderedDict()  # ghost keys
+        self._am: "OrderedDict[int, None]" = OrderedDict()     # protected LRU
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def keys(self) -> Iterable[int]:
+        yield from self._a1in
+        yield from self._am
+
+    @property
+    def probation_size(self) -> int:
+        """Resident keys in the probation FIFO."""
+        return len(self._a1in)
+
+    @property
+    def protected_size(self) -> int:
+        """Resident keys in the protected LRU."""
+        return len(self._am)
+
+    @property
+    def ghost_size(self) -> int:
+        """Non-resident keys remembered in the ghost list."""
+        return len(self._a1out)
+
+    def _contains(self, key: int) -> bool:
+        return key in self._a1in or key in self._am
+
+    def _on_hit(self, key: int) -> None:
+        if key in self._am:
+            self._am.move_to_end(key)
+        # 2Q rule: a hit in A1in does nothing (stays FIFO-ordered).
+
+    def _reclaim(self) -> None:
+        """Free one slot per the 2Q reclamation rule."""
+        if len(self._a1in) > self._kin or (self._a1in and not self._am):
+            victim, _ = self._a1in.popitem(last=False)
+            self._a1out[victim] = None
+            if len(self._a1out) > self._kout:
+                self._a1out.popitem(last=False)
+        elif self._am:
+            self._am.popitem(last=False)
+        elif self._a1in:  # pragma: no cover - covered by first branch
+            self._a1in.popitem(last=False)
+        self.stats.evictions += 1
+
+    def _admit(self, key: int) -> None:
+        if key in self._a1out:
+            # Re-reference after ghosting: promote straight to protected.
+            del self._a1out[key]
+            if len(self) >= self._capacity:
+                self._reclaim()
+            self._am[key] = None
+        else:
+            if len(self) >= self._capacity:
+                self._reclaim()
+            self._a1in[key] = None
+        self.stats.insertions += 1

@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``fig3a`` / ``fig3b`` / ``fig4`` / ``fig5a`` / ``fig5b``
+    Regenerate the corresponding figure's data as an ASCII table.
+    ``--full`` uses the paper's 200-trial configuration; the default is
+    a fast reduced-trial run with the same qualitative shape.
+``provision``
+    Cache-provisioning report for an ``(n, m, d, R)`` system.
+``plan``
+    The adversary's optimal plan against given public parameters, with
+    the unreplicated SoCC'11 baseline for contrast.
+``calibrate``
+    Empirically measure the folded constant ``k`` for given ``(n, d)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .adversary.planner import compare_with_baseline
+from .ballsbins.occupancy import calibrate_k_prime
+from .core.bounds import fold_constant_k, loglog_over_logd
+from .core.notation import SystemParameters
+from .core.provisioning import recommend
+from .experiments import (
+    PAPER,
+    run_fig3a,
+    run_fig3b,
+    run_fig4,
+    run_fig5a,
+    run_fig5b,
+)
+
+__all__ = ["main", "build_parser"]
+
+_QUICK_TRIALS = 25
+
+_FIGURES = {
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig4": run_fig4,
+    "fig5a": run_fig5a,
+    "fig5b": run_fig5b,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'Secure Cache Provision: Provable DDoS Prevention for "
+            "Randomly Partitioned Services with Replication' (ICDCS-W 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for fig in _FIGURES:
+        p = sub.add_parser(fig, help=f"regenerate {fig} of the paper")
+        p.add_argument(
+            "--full",
+            action="store_true",
+            help=f"paper-scale run ({PAPER.trials} trials); default {_QUICK_TRIALS}",
+        )
+        p.add_argument("--trials", type=int, default=None, help="override trial count")
+        p.add_argument("--seed", type=int, default=None, help="root RNG seed")
+        p.add_argument(
+            "--plot", action="store_true", help="append an ASCII plot of the series"
+        )
+
+    prov = sub.add_parser("provision", help="cache-provisioning report")
+    prov.add_argument("--nodes", "-n", type=int, required=True, help="back-end nodes n")
+    prov.add_argument("--items", "-m", type=int, required=True, help="stored items m")
+    prov.add_argument("--replication", "-d", type=int, default=3, help="replication factor d")
+    prov.add_argument("--cache", "-c", type=int, default=0, help="current cache size c")
+    prov.add_argument("--rate", "-R", type=float, default=1e5, help="offered rate R (qps)")
+    prov.add_argument("--k", type=float, default=None, help="folded constant k (default: theory + k')")
+    prov.add_argument("--k-prime", type=float, default=1.0, help="Theta(1) remainder k'")
+
+    plan = sub.add_parser("plan", help="adversary's optimal plan vs baseline")
+    plan.add_argument("--nodes", "-n", type=int, required=True)
+    plan.add_argument("--items", "-m", type=int, required=True)
+    plan.add_argument("--replication", "-d", type=int, default=3)
+    plan.add_argument("--cache", "-c", type=int, required=True)
+    plan.add_argument("--rate", "-R", type=float, default=1e5)
+    plan.add_argument("--k", type=float, default=PAPER.k)
+
+    campaign = sub.add_parser("all", help="run every figure and emit one report")
+    campaign.add_argument("--full", action="store_true", help="paper-scale (200 trials)")
+    campaign.add_argument("--trials", type=int, default=None)
+    campaign.add_argument("--seed", type=int, default=None)
+    campaign.add_argument(
+        "--output", type=str, default=None, help="also write the report to this file"
+    )
+
+    cal = sub.add_parser("calibrate", help="measure the folded constant k empirically")
+    cal.add_argument("--nodes", "-n", type=int, default=PAPER.n)
+    cal.add_argument("--replication", "-d", type=int, default=PAPER.d)
+    cal.add_argument("--balls", type=int, default=50_000, help="balls per trial")
+    cal.add_argument("--trials", type=int, default=30)
+    cal.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    trials = args.trials
+    if trials is None:
+        trials = PAPER.trials if args.full else _QUICK_TRIALS
+    result = _FIGURES[args.command](trials=trials, seed=args.seed)
+    print(result.render())
+    if args.plot:
+        from .experiments.plot import ascii_plot
+
+        columns = dict(result.columns)
+        x_name, x_values = next(iter(columns.items()))
+        numeric = {
+            name: values
+            for name, values in columns.items()
+            if name != x_name and values and isinstance(values[0], (int, float))
+            and not isinstance(values[0], bool)
+        }
+        print()
+        print(
+            ascii_plot(
+                x_values,
+                numeric,
+                logx=min(x_values) > 0 and max(x_values) / max(min(x_values), 1) > 50,
+                title=f"{result.name}: {x_name} vs {', '.join(numeric)}",
+                hline=1.0 if any("gain" in s or "sim" in s for s in numeric) else None,
+            )
+        )
+    return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
+    from .experiments.campaign import run_campaign
+
+    trials = args.trials
+    if trials is None:
+        trials = PAPER.trials if args.full else _QUICK_TRIALS
+    campaign = run_campaign(trials=trials, seed=args.seed, progress=print)
+    report = campaign.render()
+    print(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.output}")
+    return 0
+
+
+def _run_provision(args: argparse.Namespace) -> int:
+    params = SystemParameters(
+        n=args.nodes, m=args.items, c=args.cache, d=args.replication, rate=args.rate
+    )
+    report = recommend(params, k=args.k, k_prime=args.k_prime)
+    print(report.describe())
+    return 0
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    params = SystemParameters(
+        n=args.nodes, m=args.items, c=args.cache, d=args.replication, rate=args.rate
+    )
+    comparison = compare_with_baseline(params, k=args.k)
+    print(comparison.describe())
+    return 0
+
+
+def _run_calibrate(args: argparse.Namespace) -> int:
+    k_prime = calibrate_k_prime(
+        balls=args.balls,
+        bins=args.nodes,
+        d=args.replication,
+        trials=args.trials,
+        seed=args.seed,
+    )
+    theory = loglog_over_logd(args.nodes, args.replication)
+    folded = fold_constant_k(args.nodes, args.replication, k_prime)
+    print(
+        f"n={args.nodes} d={args.replication} balls={args.balls} trials={args.trials}\n"
+        f"log log n / log d = {theory:.4f}\n"
+        f"measured k' (worst case over trials) = {k_prime:.4f}\n"
+        f"folded k = {folded:.4f}  (paper's figures use k = {PAPER.k})"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in _FIGURES:
+        return _run_figure(args)
+    if args.command == "all":
+        return _run_campaign(args)
+    if args.command == "provision":
+        return _run_provision(args)
+    if args.command == "plan":
+        return _run_plan(args)
+    if args.command == "calibrate":
+        return _run_calibrate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""The back-end cluster substrate: nodes, partitioning, replica selection.
+
+Models the lower half of the paper's Figure 1: ``n`` back-end nodes over
+which ``m`` items are randomly partitioned with replication factor
+``d``.  The partitioning seed is private to the cluster object — the
+adversary-facing API never exposes key -> node mappings, mirroring the
+paper's "opaque to the clients" assumption.
+"""
+
+from .node import BackendNode, NodeLoad
+from .partitioner import (
+    ConsistentHashPartitioner,
+    HashPartitioner,
+    Partitioner,
+    RandomTablePartitioner,
+)
+from .selection import (
+    LeastLoadedKeyPinning,
+    LeastUtilizedKeyPinning,
+    PerQueryRandomSpreading,
+    PrimaryKeyPinning,
+    RandomKeyPinning,
+    RoundRobinSpreading,
+    SelectionPolicy,
+    make_selection_policy,
+)
+from .cluster import Cluster
+from .health import ClusterHealth, assess_health
+from .rebalance import MigrationPlan, grow_ring, migration_plan
+from .failures import (
+    DegradedGroups,
+    degrade_groups,
+    expected_unavailable_fraction,
+    sample_failures,
+)
+
+__all__ = [
+    "BackendNode",
+    "NodeLoad",
+    "Partitioner",
+    "HashPartitioner",
+    "ConsistentHashPartitioner",
+    "RandomTablePartitioner",
+    "SelectionPolicy",
+    "LeastLoadedKeyPinning",
+    "LeastUtilizedKeyPinning",
+    "RandomKeyPinning",
+    "PrimaryKeyPinning",
+    "RoundRobinSpreading",
+    "PerQueryRandomSpreading",
+    "make_selection_policy",
+    "Cluster",
+    "ClusterHealth",
+    "assess_health",
+    "MigrationPlan",
+    "migration_plan",
+    "grow_ring",
+    "DegradedGroups",
+    "degrade_groups",
+    "sample_failures",
+    "expected_unavailable_fraction",
+]

@@ -1,0 +1,171 @@
+"""The Cluster facade: nodes + partitioner + replica selection.
+
+Ties the substrate together into the object the simulators and examples
+talk to: give it per-key query rates (post-cache) and it returns the
+per-node load vector, keeping the partitioning secret internal.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import RngFactory, as_generator
+from ..types import LoadVector
+from .node import BackendNode, NodeLoad
+from .partitioner import Partitioner, RandomTablePartitioner
+from .selection import LeastLoadedKeyPinning, SelectionPolicy
+
+__all__ = ["Cluster"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+class Cluster:
+    """A randomly partitioned, replicated back-end cluster.
+
+    Parameters
+    ----------
+    n:
+        Number of back-end nodes.
+    d:
+        Replication factor.
+    partitioner:
+        Key -> replica-group mapping; defaults to a fresh
+        :class:`~repro.cluster.partitioner.RandomTablePartitioner` when
+        ``m`` is given, otherwise a hash partitioner must be supplied.
+    selection:
+        Replica-selection policy; defaults to the theory model
+        (least-loaded key pinning).
+    node_capacity:
+        Optional uniform per-node capacity ``r_i``.
+    m:
+        Key-space size, needed only to build the default partitioner.
+    seed:
+        Secret seed for the default partitioner.
+
+    Examples
+    --------
+    >>> cluster = Cluster(n=10, d=2, m=100, seed=1)
+    >>> loads = cluster.apply_rates({0: 5.0, 7: 3.0}, total_rate=8.0)
+    >>> round(loads.backend_rate, 6)
+    8.0
+    """
+
+    def __init__(
+        self,
+        n: int,
+        d: int,
+        partitioner: Optional[Partitioner] = None,
+        selection: Optional[SelectionPolicy] = None,
+        node_capacity: Optional[float] = None,
+        m: Optional[int] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if partitioner is None:
+            if m is None:
+                raise ConfigurationError(
+                    "provide either a partitioner or m (to build the default one)"
+                )
+            partitioner = RandomTablePartitioner(n, d, m, seed=seed)
+        if partitioner.n != n or partitioner.d != d:
+            raise ConfigurationError(
+                f"partitioner built for n={partitioner.n}, d={partitioner.d}; "
+                f"cluster asked for n={n}, d={d}"
+            )
+        self._n = n
+        self._d = d
+        self._partitioner = partitioner
+        self._selection = selection if selection is not None else LeastLoadedKeyPinning()
+        self._nodes = [BackendNode(i, capacity=node_capacity) for i in range(n)]
+        self._accounts = [NodeLoad(node) for node in self._nodes]
+
+    @property
+    def n(self) -> int:
+        """Number of back-end nodes."""
+        return self._n
+
+    @property
+    def d(self) -> int:
+        """Replication factor."""
+        return self._d
+
+    @property
+    def nodes(self) -> Sequence[BackendNode]:
+        """The node objects (read-only view)."""
+        return tuple(self._nodes)
+
+    @property
+    def selection(self) -> SelectionPolicy:
+        """The active replica-selection policy."""
+        return self._selection
+
+    @property
+    def partitioner(self) -> Partitioner:
+        """The key -> replica-group mapping.
+
+        Exposed for *system* code (simulators, tests); adversary
+        implementations must not touch it — see
+        :class:`repro.adversary.strategies.Adversary`, whose interface
+        only receives public parameters.
+        """
+        return self._partitioner
+
+    def replica_group(self, key: int) -> np.ndarray:
+        """Nodes able to serve ``key`` (system-side introspection)."""
+        return self._partitioner.replica_group(key)
+
+    def apply_rates(
+        self,
+        key_rates: Union[Mapping[int, float], tuple],
+        total_rate: Optional[float] = None,
+        rng: RngLike = None,
+    ) -> LoadVector:
+        """Compute steady-state node loads for post-cache key rates.
+
+        Parameters
+        ----------
+        key_rates:
+            Either a mapping ``{key: rate}`` or a ``(keys, rates)`` pair
+            of equal-length arrays.  Only keys that miss the cache
+            should appear here.
+        total_rate:
+            The aggregate *offered* rate ``R`` (including cached
+            traffic) used for normalization; defaults to the sum of the
+            given rates (i.e. no cache absorption).
+        rng:
+            Randomness for stochastic selection policies.
+        """
+        if isinstance(key_rates, Mapping):
+            keys = np.fromiter(key_rates.keys(), dtype=np.int64, count=len(key_rates))
+            rates = np.fromiter(key_rates.values(), dtype=float, count=len(key_rates))
+        else:
+            keys, rates = key_rates
+            keys = np.asarray(keys, dtype=np.int64)
+            rates = np.asarray(rates, dtype=float)
+        if keys.shape != rates.shape:
+            raise ConfigurationError("keys and rates must have equal length")
+        groups = self._partitioner.replica_groups(keys)
+        gen = as_generator(rng, "cluster-selection")
+        loads = self._selection.node_loads(groups, rates, self._n, rng=gen)
+        if total_rate is None:
+            total_rate = float(rates.sum())
+        self._record(loads)
+        return LoadVector(loads=loads, total_rate=total_rate)
+
+    def _record(self, loads: np.ndarray) -> None:
+        for account, load in zip(self._accounts, loads):
+            account.reset()
+            account.add_rate(float(load))
+
+    def accounts(self) -> Sequence[NodeLoad]:
+        """Per-node load accounts from the most recent ``apply_rates``."""
+        return tuple(self._accounts)
+
+    def saturated_nodes(self) -> Sequence[int]:
+        """Ids of nodes whose last recorded rate exceeds capacity."""
+        return tuple(
+            account.node.node_id for account in self._accounts if account.saturated
+        )

@@ -1,0 +1,89 @@
+"""Cluster health assessment: saturation, SLO headroom, imbalance.
+
+The paper's operational takeaway ("if the capacity r_i of each node is
+larger than E[L_max], then with high probability the adversary will
+never saturate any node") needs a measurement side: given an observed
+load vector and node capacities, report who saturated and how much
+headroom remains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+from ..types import LoadVector
+
+__all__ = ["ClusterHealth", "assess_health"]
+
+
+@dataclass(frozen=True)
+class ClusterHealth:
+    """Snapshot of a cluster's condition under a given load vector.
+
+    Attributes
+    ----------
+    n_nodes:
+        Cluster size.
+    max_load, mean_load:
+        Queries/second on the most loaded node and on average.
+    normalized_max:
+        The attack gain realised by this load vector.
+    saturated:
+        Node ids over capacity (empty when capacity is unmodelled).
+    headroom:
+        ``capacity - max_load`` (``None`` when capacity is unmodelled).
+    imbalance:
+        ``max/mean`` ratio — 1.0 is a perfectly level cluster.
+    """
+
+    n_nodes: int
+    max_load: float
+    mean_load: float
+    normalized_max: float
+    saturated: Tuple[int, ...]
+    headroom: Optional[float]
+    imbalance: float
+
+    @property
+    def healthy(self) -> bool:
+        """No node saturated (vacuously true without capacity data)."""
+        return len(self.saturated) == 0
+
+    def describe(self) -> str:
+        """Human-readable summary line."""
+        state = "healthy" if self.healthy else f"{len(self.saturated)} node(s) SATURATED"
+        head = "" if self.headroom is None else f", headroom {self.headroom:.1f} qps"
+        return (
+            f"{state}: max load {self.max_load:.1f} qps "
+            f"({self.normalized_max:.2f}x even split), imbalance {self.imbalance:.2f}{head}"
+        )
+
+
+def assess_health(
+    loads: LoadVector, node_capacity: Optional[float] = None
+) -> ClusterHealth:
+    """Assess a load vector against an optional uniform node capacity."""
+    vector = loads.loads
+    if vector.size == 0:
+        raise AnalysisError("empty load vector")
+    mean = float(vector.mean())
+    saturated: Tuple[int, ...] = ()
+    headroom: Optional[float] = None
+    if node_capacity is not None:
+        if node_capacity <= 0:
+            raise AnalysisError(f"node_capacity must be positive, got {node_capacity}")
+        saturated = tuple(int(i) for i in np.nonzero(vector > node_capacity)[0])
+        headroom = node_capacity - loads.max_load
+    return ClusterHealth(
+        n_nodes=loads.n_nodes,
+        max_load=loads.max_load,
+        mean_load=mean,
+        normalized_max=loads.normalized_max,
+        saturated=saturated,
+        headroom=headroom,
+        imbalance=(loads.max_load / mean) if mean > 0 else 0.0,
+    )

@@ -1,0 +1,102 @@
+"""Back-end node model: identity, capacity and load accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["BackendNode", "NodeLoad"]
+
+
+@dataclass(frozen=True)
+class BackendNode:
+    """A back-end server.
+
+    Parameters
+    ----------
+    node_id:
+        Dense id in ``0 .. n-1``.
+    capacity:
+        Max sustainable query rate ``r_i`` (queries/second), or ``None``
+        when capacity is not modelled — the analytic setting of the
+        paper, where only *relative* load matters.
+    """
+
+    node_id: int
+    capacity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigurationError(f"node_id must be non-negative, got {self.node_id}")
+        if self.capacity is not None and self.capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive when given, got {self.capacity}"
+            )
+
+    def utilization(self, load: float) -> Optional[float]:
+        """``load / capacity``, or ``None`` when capacity is unmodelled."""
+        if self.capacity is None:
+            return None
+        return load / self.capacity
+
+    def saturated_by(self, load: float) -> bool:
+        """True when ``load`` exceeds this node's capacity.
+
+        An uncapped node is never saturated — the analytic model's
+        convention (saturation questions then belong to Definition 2's
+        relative gain instead).
+        """
+        if self.capacity is None:
+            return False
+        return load > self.capacity
+
+
+@dataclass
+class NodeLoad:
+    """Mutable load account for one node during a simulation trial.
+
+    Tracks both the number of keys pinned to the node (the balls-into-
+    bins view) and the aggregate query rate (the load view); they differ
+    once key rates are unequal or queries spread across replicas.
+    """
+
+    node: BackendNode
+    keys_assigned: int = 0
+    query_rate: float = 0.0
+    queries_served: int = 0
+    queries_dropped: int = 0
+
+    def assign_key(self, rate: float) -> None:
+        """Pin one key with steady-state rate ``rate`` to this node."""
+        if rate < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {rate}")
+        self.keys_assigned += 1
+        self.query_rate += rate
+
+    def add_rate(self, rate: float) -> None:
+        """Add fractional rate (per-query spreading policies)."""
+        if rate < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {rate}")
+        self.query_rate += rate
+
+    def serve(self) -> None:
+        """Record one served request (event-driven simulator)."""
+        self.queries_served += 1
+
+    def drop(self) -> None:
+        """Record one dropped request (event-driven simulator)."""
+        self.queries_dropped += 1
+
+    @property
+    def saturated(self) -> bool:
+        """Whether the steady-state rate exceeds the node's capacity."""
+        return self.node.saturated_by(self.query_rate)
+
+    def reset(self) -> None:
+        """Clear all accounting for the next trial."""
+        self.keys_assigned = 0
+        self.query_rate = 0.0
+        self.queries_served = 0
+        self.queries_dropped = 0

@@ -1,0 +1,219 @@
+"""Randomized partitioners: who stores each key's ``d`` replicas.
+
+The paper's assumption 1 ("randomized mapping ... unknown to the
+adversary") is embodied here: every partitioner is seeded with a secret
+the adversary-facing APIs never expose, and the key -> replica-group
+mapping looks uniform to anyone without the secret.
+
+Three interchangeable implementations:
+
+- :class:`HashPartitioner` — keyed BLAKE2b hashing, works for an
+  unbounded key universe (the production-shaped choice);
+- :class:`ConsistentHashPartitioner` — a classic consistent-hash ring
+  with virtual nodes (Karger et al.), what Dynamo-style systems deploy;
+- :class:`RandomTablePartitioner` — an explicit uniformly-sampled table
+  over a fixed key space, the exact process the theory analyses (and the
+  fastest for simulation).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError, PartitionError
+from ..rng import DEFAULT_SEED, RngFactory
+from .. import ballsbins
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "ConsistentHashPartitioner",
+    "RandomTablePartitioner",
+]
+
+
+class Partitioner(ABC):
+    """Maps keys to replica groups of ``d`` distinct nodes out of ``n``."""
+
+    def __init__(self, n: int, d: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one node, got n={n}")
+        if not 1 <= d <= n:
+            raise ConfigurationError(f"need 1 <= d <= n, got d={d}, n={n}")
+        self._n = n
+        self._d = d
+
+    @property
+    def n(self) -> int:
+        """Number of back-end nodes."""
+        return self._n
+
+    @property
+    def d(self) -> int:
+        """Replication factor."""
+        return self._d
+
+    @abstractmethod
+    def replica_group(self, key: int) -> np.ndarray:
+        """Return the ``d`` distinct node ids that can serve ``key``."""
+
+    def replica_groups(self, keys: Sequence[int]) -> np.ndarray:
+        """Vectorised form: ``(len(keys), d)`` matrix of node ids.
+
+        Subclasses override this when they can beat the per-key loop.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        out = np.empty((keys.size, self._d), dtype=np.int64)
+        for i, key in enumerate(keys):
+            out[i] = self.replica_group(int(key))
+        return out
+
+    def _validate_group(self, group: np.ndarray, key: int) -> np.ndarray:
+        if len(set(group.tolist())) != self._d:
+            raise PartitionError(f"replica group for key {key} has duplicates: {group}")
+        return group
+
+
+class HashPartitioner(Partitioner):
+    """Keyed-hash partitioner over an unbounded key universe.
+
+    Each key's group is derived from a BLAKE2b stream keyed with a
+    private secret: the first ``d`` distinct values of
+    ``hash(secret, key, counter) mod n``.  Without the secret the groups
+    are computationally indistinguishable from uniform — the "opaque
+    partitioning" the paper requires.
+    """
+
+    def __init__(self, n: int, d: int, secret: Optional[bytes] = None) -> None:
+        super().__init__(n, d)
+        if secret is None:
+            secret = DEFAULT_SEED.to_bytes(8, "little")
+        if not isinstance(secret, (bytes, bytearray)):
+            raise ConfigurationError("secret must be bytes")
+        self._secret = bytes(secret)[:16].ljust(16, b"\0")
+
+    def replica_group(self, key: int) -> np.ndarray:
+        group: list[int] = []
+        seen: set[int] = set()
+        counter = 0
+        while len(group) < self._d:
+            digest = hashlib.blake2b(
+                key.to_bytes(8, "little", signed=True) + counter.to_bytes(4, "little"),
+                key=self._secret,
+                digest_size=8,
+            ).digest()
+            node = int.from_bytes(digest, "little") % self._n
+            if node not in seen:
+                seen.add(node)
+                group.append(node)
+            counter += 1
+            if counter > 64 * self._d + 1024:  # pragma: no cover - defensive
+                raise PartitionError(f"could not derive {self._d} distinct nodes for key {key}")
+        return self._validate_group(np.asarray(group, dtype=np.int64), key)
+
+
+class ConsistentHashPartitioner(Partitioner):
+    """Consistent-hash ring with virtual nodes (Karger et al., STOC'97).
+
+    Each physical node owns ``vnodes`` pseudo-random positions on a
+    2^64 ring; a key is served by the first ``d`` *distinct physical*
+    nodes found walking clockwise from the key's position.  This is how
+    Dynamo, Cassandra and friends realise randomized partitioning; load
+    spread is slightly less uniform than a true random table, which the
+    ablation benches quantify.
+    """
+
+    def __init__(
+        self, n: int, d: int, vnodes: int = 64, secret: Optional[bytes] = None
+    ) -> None:
+        super().__init__(n, d)
+        if vnodes < 1:
+            raise ConfigurationError(f"need at least one vnode, got {vnodes}")
+        if secret is None:
+            secret = DEFAULT_SEED.to_bytes(8, "little")
+        self._secret = bytes(secret)[:16].ljust(16, b"\0")
+        self._vnodes = vnodes
+        positions = []
+        owners = []
+        for node in range(n):
+            for v in range(vnodes):
+                digest = hashlib.blake2b(
+                    node.to_bytes(8, "little") + v.to_bytes(4, "little") + b"ring",
+                    key=self._secret,
+                    digest_size=8,
+                ).digest()
+                positions.append(int.from_bytes(digest, "little"))
+                owners.append(node)
+        order = np.argsort(np.asarray(positions, dtype=np.uint64), kind="stable")
+        self._ring_pos = np.asarray(positions, dtype=np.uint64)[order]
+        self._ring_owner = np.asarray(owners, dtype=np.int64)[order]
+
+    @property
+    def vnodes(self) -> int:
+        """Virtual nodes per physical node."""
+        return self._vnodes
+
+    def _key_position(self, key: int) -> int:
+        digest = hashlib.blake2b(
+            key.to_bytes(8, "little", signed=True) + b"key",
+            key=self._secret,
+            digest_size=8,
+        ).digest()
+        return int.from_bytes(digest, "little")
+
+    def replica_group(self, key: int) -> np.ndarray:
+        pos = self._key_position(key)
+        start = int(np.searchsorted(self._ring_pos, np.uint64(pos), side="left"))
+        ring_size = self._ring_owner.size
+        group: list[int] = []
+        seen: set[int] = set()
+        for step in range(ring_size):
+            owner = int(self._ring_owner[(start + step) % ring_size])
+            if owner not in seen:
+                seen.add(owner)
+                group.append(owner)
+                if len(group) == self._d:
+                    break
+        if len(group) < self._d:  # pragma: no cover - impossible: d <= n
+            raise PartitionError(f"ring walk found only {len(group)} nodes for key {key}")
+        return self._validate_group(np.asarray(group, dtype=np.int64), key)
+
+
+class RandomTablePartitioner(Partitioner):
+    """Explicit uniform table over a fixed key space ``0 .. m-1``.
+
+    Exactly the process the theory analyses: each key's group is ``d``
+    distinct nodes drawn uniformly and independently.  Being a numpy
+    table, it is also by far the fastest partitioner, so the Monte-Carlo
+    simulators default to it.
+    """
+
+    def __init__(self, n: int, d: int, m: int, seed: Optional[int] = DEFAULT_SEED) -> None:
+        super().__init__(n, d)
+        if m < 1:
+            raise ConfigurationError(f"need at least one key, got m={m}")
+        self._m = m
+        gen = RngFactory(seed).generator("random-table-partitioner")
+        self._table = ballsbins.allocation.sample_replica_groups(
+            m, n, d, rng=gen, distinct=True
+        )
+
+    @property
+    def m(self) -> int:
+        """Size of the key space covered by the table."""
+        return self._m
+
+    def replica_group(self, key: int) -> np.ndarray:
+        if not 0 <= key < self._m:
+            raise PartitionError(f"key {key} outside table domain [0, {self._m})")
+        return self._table[key]
+
+    def replica_groups(self, keys: Sequence[int]) -> np.ndarray:
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (keys.min() < 0 or keys.max() >= self._m):
+            raise PartitionError("some keys outside table domain")
+        return self._table[keys]

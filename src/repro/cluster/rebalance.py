@@ -1,0 +1,133 @@
+"""Membership change and rebalancing cost — assumption 3 quantified.
+
+The paper's setting requires partitioning that is "relatively stable on
+the timescale of a few requests" because moving service between nodes
+is expensive (system property 4).  When membership *does* change —
+a node is added or retired — the partitioner determines how much data
+moves:
+
+- a freshly re-sampled random table moves almost everything (each key's
+  group is redrawn independently): the theoretical ideal for balance is
+  the worst case for churn;
+- a consistent-hash ring moves only the keys whose ring successors
+  changed — the classic ``O(moved keys) = O(m * d / n)`` guarantee that
+  made consistent hashing the deployed default.
+
+:func:`migration_plan` diffs two partitioners over a key space and
+reports exactly which replicas move, so tests and benches can verify
+the guarantee and operators can cost a topology change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from .partitioner import ConsistentHashPartitioner, Partitioner
+
+__all__ = ["MigrationPlan", "migration_plan", "grow_ring"]
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Replica movements implied by a partitioner change.
+
+    Attributes
+    ----------
+    keys_affected:
+        Number of keys whose replica group changed at all.
+    replicas_moved:
+        Total (key, node) placements that must be created — the actual
+        bytes-on-the-wire proxy.
+    total_keys, replication:
+        Scope of the comparison (``total_keys * replication`` is the
+        number of placements overall).
+    """
+
+    keys_affected: int
+    replicas_moved: int
+    total_keys: int
+    replication: int
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of all placements that move."""
+        total = self.total_keys * self.replication
+        if total == 0:
+            return 0.0
+        return self.replicas_moved / total
+
+    @property
+    def affected_fraction(self) -> float:
+        """Fraction of keys touched at all."""
+        if self.total_keys == 0:
+            return 0.0
+        return self.keys_affected / self.total_keys
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"{self.keys_affected}/{self.total_keys} keys affected, "
+            f"{self.replicas_moved} replica placements move "
+            f"({100 * self.moved_fraction:.1f}% of all placements)"
+        )
+
+
+def migration_plan(
+    before: Partitioner,
+    after: Partitioner,
+    keys: Sequence[int],
+) -> MigrationPlan:
+    """Diff two partitioners over ``keys``.
+
+    The partitioners may have different cluster sizes (that is the
+    point) but must share the replication factor — mixed-``d``
+    migrations are a different operation (re-replication) with
+    different costs.
+    """
+    if before.d != after.d:
+        raise ConfigurationError(
+            f"replication factor changed ({before.d} -> {after.d}); "
+            "use a re-replication plan, not a migration plan"
+        )
+    keys = np.asarray(keys, dtype=np.int64)
+    groups_before = before.replica_groups(keys)
+    groups_after = after.replica_groups(keys)
+    affected = 0
+    moved = 0
+    for row_before, row_after in zip(groups_before, groups_after):
+        old = set(row_before.tolist())
+        new = set(row_after.tolist())
+        gained = new - old
+        if gained or old != new:
+            affected += 1
+        moved += len(gained)
+    return MigrationPlan(
+        keys_affected=affected,
+        replicas_moved=moved,
+        total_keys=int(keys.size),
+        replication=before.d,
+    )
+
+
+def grow_ring(
+    ring: ConsistentHashPartitioner, new_n: int
+) -> ConsistentHashPartitioner:
+    """Return the same ring with nodes added (same secret and vnodes).
+
+    Consistent hashing's defining property: because existing nodes'
+    vnode positions are pure functions of (secret, node id), growing the
+    cluster re-hashes nothing — new nodes only *claim* ring segments
+    from their successors, so a :func:`migration_plan` against the grown
+    ring moves ~``(new_n - n) / new_n`` of the data instead of ~all of it.
+    """
+    if new_n <= ring.n:
+        raise ConfigurationError(
+            f"grow_ring needs new_n > current n={ring.n}, got {new_n}"
+        )
+    return ConsistentHashPartitioner(
+        new_n, ring.d, vnodes=ring.vnodes, secret=ring._secret
+    )

@@ -1,0 +1,83 @@
+"""The paper's primary contribution: adversary analysis and cache bounds.
+
+This subpackage is a direct, executable transcription of Section III of
+*Secure Cache Provision* (ICDCS Workshops 2013):
+
+- :mod:`repro.core.notation` — Table I as a validated parameter object.
+- :mod:`repro.core.bounds` — the throughput bound, Eqs. (5)-(10).
+- :mod:`repro.core.strategy` — Theorem 1 and the optimal access pattern.
+- :mod:`repro.core.attack_gain` — Definitions 1 and 2.
+- :mod:`repro.core.cases` — the Case 1 / Case 2 analysis and the optimal
+  number of queried keys.
+- :mod:`repro.core.provisioning` — the O(n log log n / log d) cache-size
+  bound and provisioning helpers.
+- :mod:`repro.core.baseline_socc11` — the unreplicated baseline analysis
+  of Fan et al. (SoCC'11), reference [18] of the paper.
+"""
+
+from .notation import SystemParameters
+from .bounds import (
+    balls_in_bins_key_bound,
+    expected_max_load_bound,
+    fold_constant_k,
+    normalized_max_load_bound,
+)
+from .strategy import (
+    AdversarialPattern,
+    canonical_pattern,
+    is_canonical,
+    optimal_pattern,
+    theorem1_step,
+)
+from .attack_gain import AttackAssessment, attack_gain, classify_attack, is_effective
+from .cases import AttackPlan, critical_cache_size, optimal_query_count, plan_best_attack
+from .provisioning import (
+    ProvisioningReport,
+    is_provably_protected,
+    min_node_capacity,
+    required_cache_size,
+    recommend,
+)
+from .tradeoff import DefenseOption, DefensePlan, ResourceCosts, plan_defense
+from .heterogeneous import (
+    CapacityAudit,
+    NodeMargin,
+    audit_capacities,
+    utilization_equalizing_bound,
+)
+from . import baseline_socc11
+
+__all__ = [
+    "ResourceCosts",
+    "DefenseOption",
+    "DefensePlan",
+    "plan_defense",
+    "NodeMargin",
+    "CapacityAudit",
+    "audit_capacities",
+    "utilization_equalizing_bound",
+    "SystemParameters",
+    "balls_in_bins_key_bound",
+    "expected_max_load_bound",
+    "fold_constant_k",
+    "normalized_max_load_bound",
+    "AdversarialPattern",
+    "canonical_pattern",
+    "is_canonical",
+    "optimal_pattern",
+    "theorem1_step",
+    "AttackAssessment",
+    "attack_gain",
+    "classify_attack",
+    "is_effective",
+    "AttackPlan",
+    "critical_cache_size",
+    "optimal_query_count",
+    "plan_best_attack",
+    "ProvisioningReport",
+    "is_provably_protected",
+    "min_node_capacity",
+    "required_cache_size",
+    "recommend",
+    "baseline_socc11",
+]

@@ -1,0 +1,124 @@
+"""Definitions 1 and 2: attack gain and attack effectiveness.
+
+Definition 1 (Attack Gain).  Given offered rate ``R`` and ``n`` back-end
+nodes, the attack gain of a DDoS attempt is the normalized workload of
+the most loaded node: ``E[L_max] / (R/n)``.
+
+Definition 2 (Effectiveness).  An attack is *effective* when its gain
+exceeds 1.0 — i.e. the adversary pushed some node beyond the load it
+would carry if traffic spread perfectly — and *ineffective* otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import AnalysisError
+from ..types import LoadReport, LoadVector
+
+__all__ = [
+    "EFFECTIVENESS_THRESHOLD",
+    "attack_gain",
+    "is_effective",
+    "AttackAssessment",
+    "classify_attack",
+]
+
+#: The gain above which Definition 2 calls an attack effective.
+EFFECTIVENESS_THRESHOLD = 1.0
+
+
+def attack_gain(max_load: float, rate: float, n: int) -> float:
+    """Definition 1: ``max_load / (rate / n)``.
+
+    Parameters
+    ----------
+    max_load:
+        Observed (or bounded) load of the most loaded node, queries/sec.
+    rate:
+        Aggregate offered rate ``R``.
+    n:
+        Number of back-end nodes.
+    """
+    if n < 1:
+        raise AnalysisError(f"need at least one node, got n={n}")
+    if rate < 0 or max_load < 0:
+        raise AnalysisError("rates must be non-negative")
+    if rate == 0:
+        return 0.0
+    return max_load / (rate / n)
+
+
+def is_effective(gain: float) -> bool:
+    """Definition 2: an attack is effective iff its gain exceeds 1.0."""
+    return gain > EFFECTIVENESS_THRESHOLD
+
+
+@dataclass(frozen=True)
+class AttackAssessment:
+    """Verdict on a measured (or bounded) attack.
+
+    Attributes
+    ----------
+    gain:
+        The attack gain used for the verdict (worst case over trials when
+        built from a :class:`~repro.types.LoadReport`).
+    effective:
+        Definition 2 verdict on ``gain``.
+    mean_gain, trials:
+        Supplementary statistics when trial data was available.
+    saturates:
+        Whether ``gain`` pushes the most loaded node beyond its capacity,
+        when a capacity is known (``None`` = capacity not modelled).
+    """
+
+    gain: float
+    effective: bool
+    mean_gain: Optional[float] = None
+    trials: Optional[int] = None
+    saturates: Optional[bool] = None
+
+    def describe(self) -> str:
+        """Human-readable one-liner for reports."""
+        verdict = "EFFECTIVE" if self.effective else "ineffective"
+        extra = ""
+        if self.mean_gain is not None and self.trials is not None:
+            extra = f" (mean {self.mean_gain:.3f} over {self.trials} trials)"
+        return f"attack gain {self.gain:.3f} -> {verdict}{extra}"
+
+
+def classify_attack(
+    observed: "LoadReport | LoadVector",
+    node_capacity: Optional[float] = None,
+) -> AttackAssessment:
+    """Assess an observed outcome per Definitions 1 and 2.
+
+    Accepts either a single-trial :class:`~repro.types.LoadVector` or a
+    multi-trial :class:`~repro.types.LoadReport`; for the latter the
+    paper's convention (worst case over trials) decides effectiveness.
+    """
+    if isinstance(observed, LoadVector):
+        gain = observed.normalized_max
+        mean_gain = None
+        trials = None
+        n = observed.n_nodes
+        rate = observed.total_rate
+    elif isinstance(observed, LoadReport):
+        gain = observed.worst_case
+        mean_gain = observed.mean
+        trials = observed.trials
+        n = observed.n_nodes
+        rate = observed.total_rate
+    else:
+        raise AnalysisError(f"cannot classify {type(observed).__name__}")
+    saturates: Optional[bool] = None
+    if node_capacity is not None:
+        saturates = gain * (rate / n) > node_capacity
+    return AttackAssessment(
+        gain=gain,
+        effective=is_effective(gain),
+        mean_gain=mean_gain,
+        trials=trials,
+        saturates=saturates,
+    )

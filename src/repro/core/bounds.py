@@ -1,0 +1,174 @@
+"""The throughput bound of Section III-B, Eqs. (5)-(10).
+
+Derivation recap
+----------------
+Under the optimal adversarial pattern (Theorem 1) the adversary queries
+``x`` keys; the ``c`` cached ones are absorbed by the front end, leaving
+``x - c`` *uncached* keys for the back end.  Keys are randomly partitioned
+and each is ultimately served by one of ``d`` randomly chosen nodes, so
+the key -> node placement is the classic *balls into bins with the power
+of d choices* process.  For ``M >> N`` balls into ``N`` bins, Berenbrink,
+Czumaj, Steger and Voecking (STOC'00) prove the max occupancy is, with
+high probability,
+
+    M/N + log log N / log d  +/-  Theta(1).                       (5)
+
+With ``M = x - c`` balls and ``N = n`` bins, each key queried at rate at
+most ``R/(x-1)``, the expected maximum node load obeys
+
+    E[L_max] <= [ (x-c)/n + k ] * R/(x-1),                        (7)-(8)
+
+where ``k = log log n / log d + k'`` folds the Theta(1) into a constant
+``k'``.  Dividing by the even-split load ``R/n`` gives the *normalized*
+bound the figures plot:
+
+    E[L_max] / (R/n) <= 1 + (1 - c + n k) / (x - 1).              (10)
+
+The paper's figures use the folded constant ``k = 1.2`` for ``n = 1000``,
+``d = 3``; :func:`fold_constant_k` computes ``k`` from ``(n, d, k')`` and
+:data:`PAPER_K` records the figure value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from .notation import SystemParameters
+
+__all__ = [
+    "PAPER_K",
+    "DEFAULT_CALIBRATED_K_PRIME",
+    "loglog_over_logd",
+    "fold_constant_k",
+    "balls_in_bins_key_bound",
+    "expected_max_load_bound",
+    "normalized_max_load_bound",
+]
+
+#: Folded constant ``k`` used for every figure in the paper
+#: (stated below Eq. (10) for Fig. 3: "we set k = 1.2").
+PAPER_K = 1.2
+
+#: Theta(1) remainder calibrated against *this* substrate's exact
+#: d-choice process (``repro.ballsbins.occupancy.calibrate_k_prime``
+#: measures worst-case k' in [0.24, 0.61] across the paper's parameter
+#: ranges; 0.75 adds safety).  ``fold_constant_k(n, d,
+#: DEFAULT_CALIBRATED_K_PRIME)`` yields a bound our simulations never
+#: violate, whereas the paper's folded k = 1.2 under-covers the true
+#: gap (log log 1000 / log 3 alone is already 1.76) — see
+#: EXPERIMENTS.md for the discussion.
+DEFAULT_CALIBRATED_K_PRIME = 0.75
+
+
+def loglog_over_logd(n: int, d: int) -> float:
+    """Return ``log log n / log d``, the d-choice occupancy excess.
+
+    Natural logarithms, matching the Berenbrink et al. statement.  For
+    ``d = 1`` the d-choice theory does not apply (``log 1 = 0``) and a
+    :class:`ConfigurationError` is raised — use
+    :mod:`repro.core.baseline_socc11` for the unreplicated case.
+    ``n <= e`` would make ``log log n`` negative or undefined; the excess
+    term is clamped at 0 there since a one- or two-node system trivially
+    has occupancy ``M/N + O(1)``.
+    """
+    if d < 2:
+        raise ConfigurationError(
+            "log log n / log d requires d >= 2; use baseline_socc11 for d = 1"
+        )
+    if n < 1:
+        raise ConfigurationError(f"need n >= 1, got {n}")
+    if n <= math.e:
+        return 0.0
+    return max(0.0, math.log(math.log(n)) / math.log(d))
+
+
+def fold_constant_k(n: int, d: int, k_prime: float = 0.0) -> float:
+    """Return ``k = log log n / log d + k'`` (the constant in Eq. (10)).
+
+    ``k'`` absorbs the Theta(1) of the balls-into-bins bound; the paper
+    calibrates the whole ``k`` to 1.2 for its figures.  Use
+    :func:`repro.ballsbins.occupancy.calibrate_k_prime` to measure ``k'``
+    empirically for other ``(n, d)``.
+    """
+    return loglog_over_logd(n, d) + k_prime
+
+
+def balls_in_bins_key_bound(balls: int, bins: int, d: int, k_prime: float = 0.0) -> float:
+    """Eq. (6): bound on the number of keys landing on any single node.
+
+    ``balls = x - c`` uncached keys into ``bins = n`` nodes with the power
+    of ``d`` choices: ``balls/bins + log log bins / log d + k'``.
+    """
+    if balls < 0:
+        raise ConfigurationError(f"balls must be non-negative, got {balls}")
+    if bins < 1:
+        raise ConfigurationError(f"bins must be positive, got {bins}")
+    if balls == 0:
+        return 0.0
+    return balls / bins + fold_constant_k(bins, d, k_prime)
+
+
+def expected_max_load_bound(
+    params: SystemParameters,
+    x: int,
+    k: Optional[float] = None,
+    k_prime: float = 0.0,
+) -> float:
+    """Eq. (8): bound on ``E[L_max]`` in queries/second.
+
+    Parameters
+    ----------
+    params:
+        The system under attack.
+    x:
+        Number of distinct keys the adversary queries; must exceed the
+        cache size (otherwise every query hits the cache and the bound
+        is trivially 0) and cannot exceed the key space ``m``.
+    k:
+        The folded constant of Eq. (10).  When ``None`` it is computed
+        as ``log log n / log d + k_prime``.
+    k_prime:
+        The Theta(1) remainder, only used when ``k is None``.
+    """
+    _validate_x(params, x)
+    if x <= params.c:
+        return 0.0
+    if k is None:
+        k = fold_constant_k(params.n, params.d, k_prime)
+    per_key_rate = params.rate / (x - 1)
+    keys_per_node = (x - params.c) / params.n + k
+    return keys_per_node * per_key_rate
+
+
+def normalized_max_load_bound(
+    params: SystemParameters,
+    x: int,
+    k: Optional[float] = None,
+    k_prime: float = 0.0,
+) -> float:
+    """Eq. (10): bound on the attack gain ``E[L_max] / (R/n)``.
+
+    Equals ``1 + (1 - c + n k) / (x - 1)``; the sign of ``1 - c + n k``
+    decides between Case 1 (effective attacks exist) and Case 2 (provable
+    prevention) — see :mod:`repro.core.cases`.
+    """
+    _validate_x(params, x)
+    if x <= params.c:
+        return 0.0
+    if k is None:
+        k = fold_constant_k(params.n, params.d, k_prime)
+    return 1.0 + (1.0 - params.c + params.n * k) / (x - 1)
+
+
+def _validate_x(params: SystemParameters, x: int) -> None:
+    if not 1 <= x <= params.m:
+        raise ConfigurationError(
+            f"the adversary can query between 1 and m={params.m} keys, got x={x}"
+        )
+    if x < 2:
+        # The bound divides by (x - 1); a single-key attack is handled by
+        # the cases module directly (it is either fully cached or a single
+        # hot key on one node).
+        raise ConfigurationError("the bound of Eq. (10) requires x >= 2")

@@ -1,0 +1,141 @@
+"""The Case 1 / Case 2 analysis: how many keys should the adversary query?
+
+From the normalized bound (Eq. (10))
+
+    gain(x) <= 1 + (1 - c + n k) / (x - 1),
+
+the sign of ``1 - c + n k`` splits the world in two:
+
+Case 1 (``c < n k + 1`` — the cache is too small).
+    The bound *decreases* in ``x``, so the adversary maximises gain by
+    querying as few keys as possible while still bypassing the cache:
+    ``x = c + 1``.  The resulting gain exceeds 1 — an effective attack
+    always exists.
+
+Case 2 (``c >= n k + 1`` — the cache is provisioned per the paper).
+    The bound *increases* in ``x`` but never reaches 1, so the
+    adversary's best move is to query the whole key space ``x = m`` and
+    even then the gain stays <= 1: provable DDoS prevention.
+
+This is the paper's headline departure from the unreplicated analysis of
+[18], where an optimal interior ``x*`` exists and attacks are always
+effective (see :mod:`repro.core.baseline_socc11`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from .bounds import fold_constant_k, normalized_max_load_bound
+from .notation import SystemParameters
+
+__all__ = [
+    "critical_cache_size",
+    "which_case",
+    "optimal_query_count",
+    "AttackPlan",
+    "plan_best_attack",
+]
+
+
+def critical_cache_size(n: int, d: int, k: Optional[float] = None, k_prime: float = 0.0) -> int:
+    """Smallest cache size that lands the system in Case 2.
+
+    Solves ``1 - c + n k <= 0`` for integer ``c``:
+    ``c* = ceil(n k + 1) = ceil(n (log log n / log d + k') + 1)``.
+
+    For the paper's figure parameters (``n = 1000``, folded ``k = 1.2``)
+    this is 1201 entries — independent of the number of items ``m``.
+    """
+    if k is None:
+        k = fold_constant_k(n, d, k_prime)
+    if k < 0:
+        raise ConfigurationError(f"k must be non-negative, got {k}")
+    return int(math.ceil(n * k + 1.0))
+
+
+def which_case(params: SystemParameters, k: Optional[float] = None, k_prime: float = 0.0) -> int:
+    """Return 1 or 2: which branch of the analysis the system is in."""
+    return 1 if params.c < critical_cache_size(params.n, params.d, k, k_prime) else 2
+
+
+def optimal_query_count(
+    params: SystemParameters, k: Optional[float] = None, k_prime: float = 0.0
+) -> int:
+    """The bound-maximising number of keys for the adversary to query.
+
+    Case 1: ``x = c + 1`` (smallest cache-bypassing attack).
+    Case 2: ``x = m`` (query the entire key space).
+
+    A degenerate corner: with ``c + 1 > m`` the whole key space fits in
+    the cache and no back-end attack exists; ``m`` is returned, and the
+    resulting gain is 0.
+    """
+    if which_case(params, k, k_prime) == 1:
+        return min(params.c + 1, params.m)
+    return params.m
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """The adversary's bound-optimal plan against a known ``(n, m, c, d)``.
+
+    Attributes
+    ----------
+    x:
+        Number of keys to query (uniformly, per Theorem 1).
+    case:
+        Which analysis branch applied (1: effective attack exists,
+        2: provably prevented).
+    gain_bound:
+        Eq. (10) evaluated at ``x`` — the highest gain the adversary can
+        hope for.
+    effective:
+        Whether ``gain_bound`` exceeds 1 (Definition 2 applied to the
+        bound).
+    critical_cache:
+        The Case-2 threshold ``c*`` for this ``(n, d, k)``.
+    """
+
+    x: int
+    case: int
+    gain_bound: float
+    effective: bool
+    critical_cache: int
+
+    def describe(self) -> str:
+        """Human-readable plan summary for reports and examples."""
+        outcome = "can be effective" if self.effective else "provably prevented"
+        return (
+            f"Case {self.case}: query x={self.x} keys uniformly; "
+            f"gain bound {self.gain_bound:.3f} ({outcome}); "
+            f"critical cache size c*={self.critical_cache}"
+        )
+
+
+def plan_best_attack(
+    params: SystemParameters, k: Optional[float] = None, k_prime: float = 0.0
+) -> AttackPlan:
+    """Produce the adversary's optimal plan and its predicted outcome.
+
+    This is the function an attacker *with only public knowledge*
+    (``n, m, c, d``) would run; the simulators in :mod:`repro.sim` then
+    check the prediction against randomized executions.
+    """
+    case = which_case(params, k, k_prime)
+    x = optimal_query_count(params, k, k_prime)
+    if x <= params.c or x < 2:
+        # Entire queried set is cached: the back end sees nothing.
+        gain = 0.0
+    else:
+        gain = normalized_max_load_bound(params, x, k, k_prime)
+    return AttackPlan(
+        x=x,
+        case=case,
+        gain_bound=gain,
+        effective=gain > 1.0,
+        critical_cache=critical_cache_size(params.n, params.d, k, k_prime),
+    )

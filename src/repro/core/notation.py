@@ -1,0 +1,124 @@
+"""Table I of the paper as a validated, immutable parameter object.
+
+========  =============================================================
+Symbol    Meaning
+========  =============================================================
+``n``     number of back-end nodes
+``m``     number of (key, value) items stored in the system
+``c``     number of items cached at the front end
+``d``     replication factor (nodes able to serve each item)
+``R``     sustainable aggregate query rate offered by the client(s)
+``r_i``   max query rate supported by node *i* (optional, uniform here)
+========  =============================================================
+
+The paper's assumptions (Section II-B) are encoded as constructor
+validation: ``d <= n`` (a replica group must fit in the cluster),
+``c <= m`` (cannot cache more items than exist), and all counts positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SystemParameters"]
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """The cluster-plus-cache system of Figure 1.
+
+    Parameters
+    ----------
+    n:
+        Number of back-end nodes.
+    m:
+        Number of distinct (key, value) items served.
+    c:
+        Front-end cache capacity in items (``0 <= c <= m``).
+    d:
+        Replication factor: each item can be served by ``d`` distinct
+        nodes (``1 <= d <= n``).  ``d = 1`` recovers the unreplicated
+        setting of Fan et al. (SoCC'11).
+    rate:
+        Aggregate client query rate ``R`` in queries/second.
+    node_capacity:
+        Optional uniform per-node capacity ``r_i``.  ``None`` means
+        capacity is not modelled (the analytic setting of the paper).
+
+    Examples
+    --------
+    The paper's simulated system (Section IV):
+
+    >>> params = SystemParameters(n=1000, m=100_000, c=200, d=3, rate=1e5)
+    >>> params.even_split
+    100.0
+    """
+
+    n: int
+    m: int
+    c: int
+    d: int
+    rate: float = 1.0
+    node_capacity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ConfigurationError(f"need at least one node, got n={self.n}")
+        if self.m < 1:
+            raise ConfigurationError(f"need at least one item, got m={self.m}")
+        if not 0 <= self.c <= self.m:
+            raise ConfigurationError(
+                f"cache size must satisfy 0 <= c <= m, got c={self.c}, m={self.m}"
+            )
+        if not 1 <= self.d <= self.n:
+            raise ConfigurationError(
+                f"replication factor must satisfy 1 <= d <= n, got d={self.d}, n={self.n}"
+            )
+        if self.rate < 0:
+            raise ConfigurationError(f"rate must be non-negative, got {self.rate}")
+        if self.node_capacity is not None and self.node_capacity <= 0:
+            raise ConfigurationError(
+                f"node_capacity must be positive when given, got {self.node_capacity}"
+            )
+
+    @property
+    def even_split(self) -> float:
+        """``R / n`` — per-node load if the workload spread perfectly.
+
+        This is the baseline of Definition 1; an attack gain is the
+        most-loaded node's rate divided by this quantity.
+        """
+        return self.rate / self.n
+
+    @property
+    def uncached_items(self) -> int:
+        """``m - c`` — items that must be served by the back end."""
+        return self.m - self.c
+
+    @property
+    def replicated(self) -> bool:
+        """True when ``d >= 2`` (the regime this paper adds over [18])."""
+        return self.d >= 2
+
+    def with_cache(self, c: int) -> "SystemParameters":
+        """Return a copy with cache size ``c`` (used by cache-size sweeps)."""
+        return replace(self, c=c)
+
+    def with_nodes(self, n: int) -> "SystemParameters":
+        """Return a copy with ``n`` nodes (used by cluster-size sweeps)."""
+        return replace(self, n=n)
+
+    def with_replication(self, d: int) -> "SystemParameters":
+        """Return a copy with replication factor ``d``."""
+        return replace(self, d=d)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used in experiment headers."""
+        cap = "uncapped" if self.node_capacity is None else f"{self.node_capacity:g} qps"
+        return (
+            f"n={self.n} nodes, m={self.m} items, c={self.c} cached, "
+            f"d={self.d} replicas, R={self.rate:g} qps, node capacity {cap}"
+        )

@@ -1,0 +1,162 @@
+"""Cache provisioning: the operator-facing side of the paper's result.
+
+The paper's conclusion for cluster operators: a front-end cache of
+
+    c >= n * (log log n / log d + k') + 1  =  O(n log log n / log d)
+
+entries makes every adversarial access pattern ineffective, *independent
+of the number of items served*; and because ``log log n / log d < 2`` for
+every realistic deployment (``n < 1e5``, ``d >= 3``), an ``O(n)`` cache
+suffices.  This module turns that statement into a provisioning API:
+given a cluster, how big a cache — and how much per-node headroom — do I
+need to be provably DDoS-proof?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+from .bounds import expected_max_load_bound, fold_constant_k
+from .cases import critical_cache_size, plan_best_attack
+from .notation import SystemParameters
+
+__all__ = [
+    "DEFAULT_K_PRIME",
+    "required_cache_size",
+    "is_provably_protected",
+    "min_node_capacity",
+    "ProvisioningReport",
+    "recommend",
+]
+
+#: Conservative default for the Theta(1) remainder ``k'`` of the
+#: Berenbrink et al. bound.  Empirical calibration (see
+#: ``repro.ballsbins.occupancy.calibrate_k_prime``) finds ``k'`` well
+#: below 1 across the paper's parameter ranges; 1.0 keeps the
+#: recommendation on the safe side.  The paper's own figures use the
+#: *folded* constant ``k = 1.2`` for n=1000, d=3.
+DEFAULT_K_PRIME = 1.0
+
+
+def required_cache_size(
+    n: int, d: int, k: Optional[float] = None, k_prime: float = DEFAULT_K_PRIME
+) -> int:
+    """Smallest cache size guaranteeing Case 2 (provable prevention).
+
+    Either pass the folded constant ``k`` directly (e.g. an empirically
+    calibrated value such as the paper's 1.2) or let it be computed as
+    ``log log n / log d + k_prime``.
+    """
+    return critical_cache_size(n, d, k=k, k_prime=k_prime)
+
+
+def is_provably_protected(
+    params: SystemParameters, k: Optional[float] = None, k_prime: float = DEFAULT_K_PRIME
+) -> bool:
+    """True when ``params.c`` meets the Case-2 threshold.
+
+    The corner where the cache covers the whole key space (``c >= m``)
+    is trivially protected regardless of the threshold.
+    """
+    if params.c >= params.m:
+        return True
+    return params.c >= required_cache_size(params.n, params.d, k=k, k_prime=k_prime)
+
+
+def min_node_capacity(
+    params: SystemParameters, k: Optional[float] = None, k_prime: float = DEFAULT_K_PRIME
+) -> float:
+    """Per-node capacity ``r_i`` above which no node ever saturates.
+
+    Section III-B closes with: if each node's capacity exceeds
+    ``E[L_max]`` under the adversary's best plan, the attacker can never
+    saturate any node with high probability.  This returns that bound
+    (in queries/second) for the adversary's optimal ``x``.
+    """
+    plan = plan_best_attack(params, k=k, k_prime=k_prime)
+    if plan.x <= params.c or plan.x < 2:
+        return 0.0
+    return expected_max_load_bound(params, plan.x, k=k, k_prime=k_prime)
+
+
+@dataclass(frozen=True)
+class ProvisioningReport:
+    """Everything an operator needs to provision the front end.
+
+    Attributes
+    ----------
+    params:
+        The system the report was computed for.
+    k:
+        The folded constant used.
+    required_cache:
+        Case-2 threshold ``c*``.
+    protected:
+        Whether the system's current cache meets it.
+    worst_gain_bound:
+        Eq. (10) at the adversary's best ``x`` for the current cache.
+    min_capacity:
+        Per-node qps needed to survive the worst plan (0 when the cache
+        absorbs everything).
+    cache_to_nodes_ratio:
+        ``c* / n`` — the paper's "small cache" claim made concrete: for
+        realistic clusters this stays below ~3 entries per node.
+    """
+
+    params: SystemParameters
+    k: float
+    required_cache: int
+    protected: bool
+    worst_gain_bound: float
+    min_capacity: float
+
+    @property
+    def cache_to_nodes_ratio(self) -> float:
+        """Required cache entries per back-end node."""
+        return self.required_cache / self.params.n
+
+    def describe(self) -> str:
+        """Multi-line human-readable provisioning summary."""
+        status = "PROTECTED" if self.protected else "VULNERABLE"
+        lines = [
+            f"system: {self.params.describe()}",
+            f"folded constant k = {self.k:.4f}",
+            f"required cache size c* = {self.required_cache} entries "
+            f"({self.cache_to_nodes_ratio:.2f} per node)",
+            f"current cache c = {self.params.c} -> {status}",
+            f"worst-case gain bound at current cache: {self.worst_gain_bound:.3f}",
+            f"per-node capacity needed: {self.min_capacity:.1f} qps "
+            f"(even split would be {self.params.even_split:.1f} qps)",
+        ]
+        return "\n".join(lines)
+
+
+def recommend(
+    params: SystemParameters, k: Optional[float] = None, k_prime: float = DEFAULT_K_PRIME
+) -> ProvisioningReport:
+    """Produce a :class:`ProvisioningReport` for ``params``.
+
+    Examples
+    --------
+    >>> from repro.core import SystemParameters
+    >>> report = recommend(SystemParameters(n=1000, m=100_000, c=200, d=3, rate=1e5), k=1.2)
+    >>> report.required_cache
+    1201
+    >>> report.protected
+    False
+    """
+    folded = fold_constant_k(params.n, params.d, k_prime) if k is None else k
+    if folded < 0:
+        raise ConfigurationError(f"folded constant k must be non-negative, got {folded}")
+    plan = plan_best_attack(params, k=k, k_prime=k_prime)
+    return ProvisioningReport(
+        params=params,
+        k=folded,
+        required_cache=required_cache_size(params.n, params.d, k=k, k_prime=k_prime),
+        protected=is_provably_protected(params, k=k, k_prime=k_prime),
+        worst_gain_bound=plan.gain_bound,
+        min_capacity=min_node_capacity(params, k=k, k_prime=k_prime),
+    )

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except ReproError`` clause while still letting programming errors
+(``TypeError`` and friends raised by misuse of the standard library)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A system or simulation parameter is out of its valid domain.
+
+    Raised eagerly at construction time (e.g. a replication factor larger
+    than the number of nodes, a cache larger than the key space) so that
+    long simulations never fail halfway through on bad inputs.
+    """
+
+
+class DistributionError(ReproError):
+    """A query distribution is malformed (negative mass, does not sum to 1,
+    or violates a documented ordering requirement)."""
+
+
+class SimulationError(ReproError):
+    """A simulation could not be carried out with the given inputs."""
+
+
+class CacheError(ReproError):
+    """A front-end cache was misused (e.g. zero capacity insert)."""
+
+
+class PartitionError(ReproError):
+    """The partitioner could not produce a valid replica group."""
+
+
+class AnalysisError(ReproError):
+    """A post-hoc analysis step received data it cannot interpret."""

@@ -1,0 +1,100 @@
+"""Full-evaluation campaign: every figure in one run, one report.
+
+``python -m repro all [--full] [--output report.md]`` regenerates the
+paper's entire evaluation section and emits a single document with every
+table and the qualitative verdicts — the artifact to diff against
+EXPERIMENTS.md after changing anything load-bearing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+from .fig3 import run_fig3a, run_fig3b
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .report import ExperimentResult
+
+__all__ = ["CampaignResult", "run_campaign", "FIGURE_DRIVERS"]
+
+#: Figure id -> driver.  fig5 runs once and serves both panels.
+FIGURE_DRIVERS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig3a": run_fig3a,
+    "fig3b": run_fig3b,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+}
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All figure results plus timing, renderable as one document."""
+
+    results: Tuple[ExperimentResult, ...]
+    elapsed_seconds: float
+    trials: int
+
+    def render(self) -> str:
+        """Markdown-ish full report."""
+        parts = [
+            "# Secure Cache Provision — full evaluation run",
+            f"(trials per sweep point: {self.trials}; "
+            f"wall clock: {self.elapsed_seconds:.1f}s)",
+            "",
+        ]
+        for result in self.results:
+            parts.append(result.render())
+            parts.append("")
+        return "\n".join(parts)
+
+    def by_name(self, name: str) -> ExperimentResult:
+        """Fetch one figure's result."""
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise ConfigurationError(
+            f"campaign has no result {name!r}; ran {[r.name for r in self.results]}"
+        )
+
+
+def run_campaign(
+    trials: int = 25,
+    seed: Optional[int] = None,
+    figures: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CampaignResult:
+    """Run the selected figures (default: all) and bundle the results.
+
+    Parameters
+    ----------
+    trials:
+        Trials per sweep point (paper scale: 200).
+    seed:
+        Root seed shared by every figure.
+    figures:
+        Subset of :data:`FIGURE_DRIVERS` keys, in the order to run.
+    progress:
+        Optional callback invoked with a status line per figure (the
+        CLI passes ``print``).
+    """
+    if figures is None:
+        figures = list(FIGURE_DRIVERS)
+    unknown = [f for f in figures if f not in FIGURE_DRIVERS]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown figures {unknown}; available: {sorted(FIGURE_DRIVERS)}"
+        )
+    results: List[ExperimentResult] = []
+    started = time.monotonic()
+    for figure in figures:
+        if progress is not None:
+            progress(f"running {figure} ({trials} trials per point)...")
+        results.append(FIGURE_DRIVERS[figure](trials=trials, seed=seed))
+    return CampaignResult(
+        results=tuple(results),
+        elapsed_seconds=time.monotonic() - started,
+        trials=trials,
+    )

@@ -1,0 +1,135 @@
+"""Figure 5: the adversary's best outcome as the cache grows.
+
+Panel (a): best achievable normalized max workload vs cache size.  The
+curve decreases in ``c``; where it crosses 1.0 is the empirical
+*critical point*, which the paper shows sits close to the analytic
+bound ``c* = n k + 1`` (= 1201 at paper constants).
+
+Panel (b): the number of keys the best adversary queries vs cache size
+(log scale): ``x = c + 1`` below the critical point, jumping to the full
+key space ``m`` above it.
+
+Both panels come from the same sweep: at each cache size the simulator
+evaluates the two candidate attacks (``x = c + 1`` and ``x = m``) and
+keeps the better — exactly the search the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import DEFAULT_CALIBRATED_K_PRIME
+from ..core.cases import critical_cache_size
+from ..sim.analytic import MonteCarloSimulator
+from ..sim.config import SimulationConfig
+from .params import PAPER, PaperParams
+from .report import ExperimentResult
+
+__all__ = ["run_fig5", "run_fig5a", "run_fig5b", "default_cache_grid"]
+
+
+def default_cache_grid(paper: PaperParams = PAPER, points: int = 13) -> np.ndarray:
+    """Cache sizes bracketing the critical point (log-spaced)."""
+    critical = paper.critical_cache
+    lo = max(25, critical // 8)
+    hi = min(paper.m, critical * 3)
+    return np.unique(
+        np.round(np.geomspace(lo, hi, num=points)).astype(int)
+    )
+
+
+def run_fig5(
+    paper: PaperParams = PAPER,
+    cache_values: Optional[Sequence[int]] = None,
+    trials: Optional[int] = None,
+    seed: Optional[int] = None,
+    selection: str = "least-loaded",
+) -> ExperimentResult:
+    """The joint Figure-5 sweep.
+
+    Returns columns: ``c``, ``best_gain`` (panel a), ``x_queried``
+    (panel b), ``effective``.  The analytic critical point and the
+    empirical crossing are recorded in the notes.
+    """
+    trials = paper.trials if trials is None else trials
+    if cache_values is None:
+        cache_values = default_cache_grid(paper)
+    columns = {"c": [], "best_gain": [], "x_queried": [], "effective": []}
+    for c in cache_values:
+        params = paper.system(c=int(c))
+        sim = MonteCarloSimulator(
+            SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+        )
+        gain, x, _ = sim.best_achievable()
+        columns["c"].append(int(c))
+        columns["best_gain"].append(gain)
+        columns["x_queried"].append(int(x))
+        columns["effective"].append(gain > 1.0)
+    analytic = critical_cache_size(paper.n, paper.d, k=paper.k)
+    calibrated = critical_cache_size(
+        paper.n, paper.d, k_prime=DEFAULT_CALIBRATED_K_PRIME
+    )
+    crossing = None
+    for c, gain in zip(columns["c"], columns["best_gain"]):
+        if gain <= 1.0:
+            crossing = c
+            break
+    notes = [
+        f"analytic critical point with the paper's k={paper.k}: c* = {analytic}",
+        f"analytic critical point with substrate-calibrated k: c* = {calibrated}",
+    ]
+    if crossing is None:
+        notes.append("no empirical crossing inside the sweep range")
+    else:
+        notes.append(f"first swept cache size with gain <= 1.0: c = {crossing}")
+    monotone = all(
+        a >= b - 0.25  # tolerate Monte-Carlo wiggle
+        for a, b in zip(columns["best_gain"], columns["best_gain"][1:])
+    )
+    notes.append(
+        "best gain decreases with cache size" if monotone else "best gain NOT monotone (noise?)"
+    )
+    return ExperimentResult(
+        name="fig5",
+        description=(
+            "best achievable normalized max workload (a) and number of "
+            "keys queried by the best adversary (b) vs cache size"
+        ),
+        columns=columns,
+        config={
+            "n": paper.n,
+            "m": paper.m,
+            "d": paper.d,
+            "trials": trials,
+            "k": paper.k,
+            "selection": selection,
+        },
+        notes=notes,
+    )
+
+
+def run_fig5a(**kwargs) -> ExperimentResult:
+    """Panel (a) view of the joint sweep (gain vs cache size)."""
+    result = run_fig5(**kwargs)
+    result.name = "fig5a"
+    result.description = "best achievable normalized max workload vs cache size"
+    result.columns = {
+        "c": result.columns["c"],
+        "best_gain": result.columns["best_gain"],
+        "effective": result.columns["effective"],
+    }
+    return result
+
+
+def run_fig5b(**kwargs) -> ExperimentResult:
+    """Panel (b) view of the joint sweep (queried keys vs cache size)."""
+    result = run_fig5(**kwargs)
+    result.name = "fig5b"
+    result.description = "number of keys queried by the best adversary vs cache size"
+    result.columns = {
+        "c": result.columns["c"],
+        "x_queried": result.columns["x_queried"],
+    }
+    return result

@@ -1,0 +1,121 @@
+"""Dependency-free ASCII plotting for terminal figure output.
+
+The repository deliberately has no plotting dependency; the experiment
+tables are the ground truth.  For eyeballing shapes in a terminal,
+``ascii_plot`` renders one or more series on a shared character grid —
+enough to see Fig. 3's monotonicity flip or Fig. 5's crossing without
+leaving the shell (``python -m repro fig3a --plot``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import AnalysisError
+
+__all__ = ["ascii_plot"]
+
+#: Glyphs assigned to series in declaration order.
+_MARKERS = "*o+x#@%&"
+
+
+def _transform(values: Sequence[float], log: bool) -> List[float]:
+    out = []
+    for value in values:
+        if log:
+            if value <= 0:
+                raise AnalysisError("log scale requires positive values")
+            out.append(math.log10(value))
+        else:
+            out.append(float(value))
+    return out
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 16,
+    logx: bool = False,
+    title: Optional[str] = None,
+    hline: Optional[float] = None,
+) -> str:
+    """Render series against ``x`` as an ASCII scatter grid.
+
+    Parameters
+    ----------
+    x:
+        Shared x coordinates.
+    series:
+        ``{label: y-values}``; each must match ``len(x)``.
+    width, height:
+        Plot area size in characters (excluding axes).
+    logx:
+        Log-scale the x axis (Figs. 3 and 5(b) read better that way).
+    title:
+        Optional first line.
+    hline:
+        Draw a horizontal reference line at this y (e.g. the gain = 1.0
+        effectiveness threshold).
+    """
+    if width < 8 or height < 4:
+        raise AnalysisError("plot area too small (need width >= 8, height >= 4)")
+    if not series:
+        raise AnalysisError("need at least one series")
+    xs = _transform(x, logx)
+    if len(xs) == 0:
+        raise AnalysisError("need at least one point")
+    for label, ys in series.items():
+        if len(ys) != len(xs):
+            raise AnalysisError(f"series {label!r} length != len(x)")
+
+    all_y = [float(v) for ys in series.values() for v in ys]
+    if hline is not None:
+        all_y.append(float(hline))
+    y_min, y_max = min(all_y), max(all_y)
+    x_min, x_max = min(xs), max(xs)
+    y_span = (y_max - y_min) or 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    def col(value: float) -> int:
+        return min(width - 1, int(round((value - x_min) / x_span * (width - 1))))
+
+    def row(value: float) -> int:
+        # Row 0 is the top of the grid.
+        return min(
+            height - 1,
+            int(round((y_max - float(value)) / y_span * (height - 1))),
+        )
+
+    grid = [[" "] * width for _ in range(height)]
+    if hline is not None:
+        r = row(hline)
+        for cc in range(width):
+            grid[r][cc] = "-"
+    for marker, (label, ys) in zip(_MARKERS, series.items()):
+        for xv, yv in zip(xs, ys):
+            grid[row(yv)][col(xv)] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = 9
+    for r, cells in enumerate(grid):
+        if r == 0:
+            axis_label = f"{y_max:>{label_width}.3g}"
+        elif r == height - 1:
+            axis_label = f"{y_min:>{label_width}.3g}"
+        else:
+            axis_label = " " * label_width
+        lines.append(f"{axis_label} |{''.join(cells)}")
+    lines.append(" " * label_width + "+" + "-" * width)
+    left = f"{x[0]:.3g}"
+    right = f"{x[-1]:.3g}" + (" (log x)" if logx else "")
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * (label_width + 1) + left + " " * pad + right)
+    legend = "  ".join(
+        f"{marker}={label}" for marker, label in zip(_MARKERS, series.keys())
+    )
+    lines.append(" " * (label_width + 1) + legend)
+    return "\n".join(lines)

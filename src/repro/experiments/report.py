@@ -1,0 +1,140 @@
+"""Experiment results and plain-text rendering.
+
+No plotting dependencies: results are column tables rendered as aligned
+ASCII, which is what the benchmarks print and what EXPERIMENTS.md
+records.  (The columns are trivially exportable to any plotting tool.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..exceptions import AnalysisError
+
+__all__ = ["ExperimentResult", "render_table", "format_number"]
+
+
+def format_number(value, precision: int = 4) -> str:
+    """Compact numeric formatting: ints verbatim, floats to ``precision``
+    significant-ish digits, strings passed through."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    columns: Mapping[str, Sequence],
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render a column mapping as an aligned ASCII table."""
+    if not columns:
+        raise AnalysisError("no columns to render")
+    names = list(columns.keys())
+    lengths = {len(col) for col in columns.values()}
+    if len(lengths) != 1:
+        raise AnalysisError(f"ragged columns: lengths {sorted(lengths)}")
+    (n_rows,) = lengths
+    cells: List[List[str]] = [[format_number(v, precision) for v in columns[name]] for name in names]
+    widths = [
+        max(len(name), *(len(c) for c in col)) if n_rows else len(name)
+        for name, col in zip(names, cells)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(name.rjust(w) for name, w in zip(names, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for r in range(n_rows):
+        lines.append("  ".join(col[r].rjust(w) for col, w in zip(cells, widths)))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for one experiment run.
+
+    Attributes
+    ----------
+    name:
+        Experiment id, e.g. ``"fig3a"``.
+    description:
+        What the series show (one line).
+    columns:
+        Column-oriented data, first column being the sweep variable.
+    config:
+        The parameters the run used (for EXPERIMENTS.md provenance).
+    notes:
+        Free-form qualitative findings (crossing points, verdicts...).
+    """
+
+    name: str
+    description: str
+    columns: Dict[str, List]
+    config: Dict[str, object] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self, precision: int = 4) -> str:
+        """Full plain-text report: header, table, notes."""
+        parts = [f"== {self.name}: {self.description}"]
+        if self.config:
+            cfg = ", ".join(f"{k}={format_number(v)}" for k, v in self.config.items())
+            parts.append(f"config: {cfg}")
+        parts.append(render_table(self.columns, precision=precision))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def column(self, name: str) -> List:
+        """Fetch one column, with a helpful error when missing."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise AnalysisError(
+                f"{self.name} has no column {name!r}; available: {sorted(self.columns)}"
+            ) from None
+
+    def to_json(self) -> str:
+        """Serialise to JSON (archival / plotting pipelines)."""
+        import json
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "description": self.description,
+                "columns": self.columns,
+                "config": self.config,
+                "notes": self.notes,
+            },
+            default=float,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExperimentResult":
+        """Reconstruct a result written by :meth:`to_json`."""
+        import json
+
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"invalid experiment-result JSON: {exc}") from exc
+        missing = {"name", "description", "columns"} - set(data)
+        if missing:
+            raise AnalysisError(f"experiment-result JSON missing fields: {sorted(missing)}")
+        return cls(
+            name=data["name"],
+            description=data["description"],
+            columns=data["columns"],
+            config=data.get("config", {}),
+            notes=data.get("notes", []),
+        )

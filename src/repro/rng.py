@@ -1,0 +1,113 @@
+"""Seeded random-number plumbing shared by every stochastic subsystem.
+
+The paper's security argument rests on an information asymmetry: the
+*system* draws the key -> replica-group mapping from randomness the
+*adversary* cannot observe.  To keep experiments reproducible while
+preserving that asymmetry in code, each subsystem derives its own
+independent :class:`numpy.random.Generator` stream from a single root
+seed via ``numpy``'s :class:`~numpy.random.SeedSequence` spawning
+mechanism.  Two streams derived with different ``child`` labels are
+statistically independent, and re-running with the same root seed
+reproduces every trial bit-for-bit.
+
+Example
+-------
+>>> root = RngFactory(seed=7)
+>>> partition_rng = root.generator("partition", trial=0)
+>>> arrival_rng = root.generator("arrivals", trial=0)
+>>> int(partition_rng.integers(1000)) != int(arrival_rng.integers(1000))
+True
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = ["RngFactory", "as_generator", "DEFAULT_SEED"]
+
+#: Seed used when the caller does not supply one.  Fixed (rather than
+#: entropy-derived) so that examples and benchmark tables are stable
+#: between runs unless the user explicitly asks for fresh randomness.
+DEFAULT_SEED = 20130708  # ICDCS 2013 workshop dates, July 8 2013.
+
+
+def _label_to_int(label: str) -> int:
+    """Map a human-readable stream label to a stable 32-bit integer.
+
+    ``zlib.crc32`` is used (not ``hash``) because Python's string hashing
+    is salted per process and would destroy reproducibility.
+    """
+    return zlib.crc32(label.encode("utf-8")) & 0xFFFFFFFF
+
+
+class RngFactory:
+    """Derives independent, reproducible RNG streams from one root seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the whole experiment.  ``None`` draws fresh OS
+        entropy (non-reproducible run).
+    """
+
+    def __init__(self, seed: Optional[int] = DEFAULT_SEED) -> None:
+        self._seed = seed
+        self._root = np.random.SeedSequence(seed)
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The root seed this factory was built with (``None`` = entropy)."""
+        return self._seed
+
+    def generator(self, label: str, trial: int = 0) -> np.random.Generator:
+        """Return a generator for stream ``label`` within trial ``trial``.
+
+        The same ``(seed, label, trial)`` triple always yields the same
+        stream; distinct triples yield independent streams.
+        """
+        if trial < 0:
+            raise ValueError(f"trial must be non-negative, got {trial}")
+        child = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            # Extend (not replace) the root's spawn key so factories
+            # namespaced via spawn() stay independent of their parent.
+            spawn_key=tuple(self._root.spawn_key) + (_label_to_int(label), trial),
+        )
+        return np.random.default_rng(child)
+
+    def spawn(self, label: str) -> "RngFactory":
+        """Return a child factory namespaced under ``label``.
+
+        Useful when a subsystem itself needs several internal streams.
+        """
+        child = RngFactory.__new__(RngFactory)
+        child._seed = self._seed
+        child._root = np.random.SeedSequence(
+            entropy=self._root.entropy,
+            spawn_key=(_label_to_int(label),),
+        )
+        return child
+
+
+def as_generator(
+    rng: Union[None, int, np.random.Generator, RngFactory],
+    label: str = "default",
+) -> np.random.Generator:
+    """Coerce the many ways callers express randomness into a Generator.
+
+    Accepts ``None`` (use :data:`DEFAULT_SEED`), an integer seed, an
+    existing :class:`numpy.random.Generator` (returned unchanged), or an
+    :class:`RngFactory` (a stream named ``label`` is derived).
+    """
+    if rng is None:
+        return RngFactory(DEFAULT_SEED).generator(label)
+    if isinstance(rng, (int, np.integer)):
+        return RngFactory(int(rng)).generator(label)
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, RngFactory):
+        return rng.generator(label)
+    raise TypeError(f"cannot interpret {rng!r} as a random generator")

@@ -1,0 +1,44 @@
+"""Simulation engines.
+
+Two complementary engines drive every experiment:
+
+- :mod:`repro.sim.analytic` — the Monte-Carlo placement simulator that
+  mirrors the paper's own methodology (random replica groups, per-key
+  steady-state rates, max over trials).  Fast enough for the full
+  n=1000 / m=1e5 / 200-trial figures.
+- :mod:`repro.sim.eventsim` — a request-level discrete-event simulator
+  with real cache policies, per-node queues, capacities and drops, used
+  to validate that the placement model's conclusions survive contact
+  with queueing dynamics.
+"""
+
+from .config import SimulationConfig
+from .analytic import (
+    MonteCarloSimulator,
+    best_achievable_gain,
+    simulate_distribution,
+    simulate_uniform_attack,
+)
+from .runner import run_trials
+from .engine import EventScheduler
+from .queueing import NodeServer
+from .eventsim import EventDrivenSimulator, EventSimResult
+from .crossval import CrossValidation, cross_validate
+from .batch import EventCampaign, run_event_campaign
+
+__all__ = [
+    "EventCampaign",
+    "run_event_campaign",
+    "SimulationConfig",
+    "MonteCarloSimulator",
+    "simulate_uniform_attack",
+    "simulate_distribution",
+    "best_achievable_gain",
+    "run_trials",
+    "EventScheduler",
+    "NodeServer",
+    "EventDrivenSimulator",
+    "EventSimResult",
+    "CrossValidation",
+    "cross_validate",
+]

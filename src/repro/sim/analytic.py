@@ -1,0 +1,215 @@
+"""The Monte-Carlo placement simulator — the paper's own methodology.
+
+Section IV describes one simulation run as: pick ``x`` keys, query them
+all at the same rate; the ``c`` most popular hit the front-end cache, so
+``x - c`` keys reach the back end; each key's replica group is ``d``
+random nodes and the key is served by one group member; record the load
+of the most loaded node.  Repeat 200 times and report the max.
+
+:func:`simulate_uniform_attack` implements exactly that.
+:func:`simulate_distribution` generalises it to any popularity law
+(needed for the uniform and Zipf(1.01) series of Figure 4), with the
+perfect front-end cache absorbing the distribution's true top-``c``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..ballsbins.allocation import sample_replica_groups
+from ..cluster.selection import SelectionPolicy, make_selection_policy
+from ..core.notation import SystemParameters
+from ..exceptions import ConfigurationError, SimulationError
+from ..types import LoadReport, LoadVector
+from ..workload.distributions import KeyDistribution
+from .config import SimulationConfig
+from .runner import run_trials
+
+__all__ = [
+    "MonteCarloSimulator",
+    "simulate_uniform_attack",
+    "simulate_distribution",
+    "best_achievable_gain",
+]
+
+
+class MonteCarloSimulator:
+    """Reusable facade over the placement simulator.
+
+    Holds a :class:`~repro.sim.config.SimulationConfig` and exposes the
+    per-experiment entry points; the module-level functions are
+    single-shot conveniences over the same code.
+    """
+
+    def __init__(self, config: SimulationConfig) -> None:
+        self._config = config
+        self._selection = make_selection_policy(config.selection)
+
+    @property
+    def config(self) -> SimulationConfig:
+        """The campaign configuration."""
+        return self._config
+
+    # -- the paper's experiment -------------------------------------------
+
+    def uniform_attack_trial(
+        self, x: int, gen: np.random.Generator
+    ) -> LoadVector:
+        """One trial of the x-key uniform attack (Section IV, one run)."""
+        params = self._config.params
+        if not 1 <= x <= params.m:
+            raise ConfigurationError(f"need 1 <= x <= m={params.m}, got x={x}")
+        balls = x - params.c
+        if balls <= 0:
+            # Every queried key is cached: the back end sees nothing.
+            return LoadVector(loads=np.zeros(params.n), total_rate=params.rate)
+        rates = self._uncached_rates(x, balls, gen)
+        groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
+        loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
+        return LoadVector(loads=loads, total_rate=params.rate)
+
+    def uniform_attack(self, x: int) -> LoadReport:
+        """Multi-trial x-key uniform attack; the unit of Figs. 3 and 5."""
+        cfg = self._config
+        return run_trials(
+            lambda gen: self.uniform_attack_trial(x, gen),
+            trials=cfg.trials,
+            seed=cfg.seed,
+            label=f"uniform-attack-x{x}",
+            metadata={"x": x, "selection": cfg.selection, **_param_meta(cfg.params)},
+        )
+
+    def _uncached_rates(
+        self, x: int, balls: int, gen: np.random.Generator
+    ) -> np.ndarray:
+        params = self._config.params
+        per_key = params.rate / x
+        if self._config.exact_rates:
+            return np.full(balls, per_key)
+        # Finite-batch mode: sample how many of the batch's queries hit
+        # each uncached key, then convert counts back to rates.
+        batch = self._config.queries_per_trial
+        counts = gen.multinomial(batch, np.full(x, 1.0 / x))[params.c :]
+        return counts.astype(float) * (params.rate / batch)
+
+    # -- arbitrary popularity laws (Figure 4) ------------------------------
+
+    def distribution_trial(
+        self, distribution: KeyDistribution, gen: np.random.Generator
+    ) -> LoadVector:
+        """One trial under an arbitrary popularity law.
+
+        The perfect front end absorbs the distribution's true top-``c``
+        keys; every other positive-rate key becomes a ball with its
+        steady-state rate as weight.
+        """
+        params = self._config.params
+        if distribution.m != params.m:
+            raise SimulationError(
+                f"distribution covers {distribution.m} keys, system serves {params.m}"
+            )
+        probs = distribution.probabilities()
+        cached = distribution.top_keys(params.c)
+        uncached_mask = probs > 0
+        uncached_mask[cached] = False
+        rates = probs[uncached_mask] * params.rate
+        balls = int(rates.size)
+        if balls == 0:
+            return LoadVector(loads=np.zeros(params.n), total_rate=params.rate)
+        groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
+        loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
+        return LoadVector(loads=loads, total_rate=params.rate)
+
+    def distribution_attack(self, distribution: KeyDistribution) -> LoadReport:
+        """Multi-trial run of an arbitrary access pattern."""
+        cfg = self._config
+        return run_trials(
+            lambda gen: self.distribution_trial(distribution, gen),
+            trials=cfg.trials,
+            seed=cfg.seed,
+            label=f"distribution-{distribution.name}",
+            metadata={
+                "distribution": distribution.name,
+                "selection": cfg.selection,
+                **_param_meta(cfg.params),
+            },
+        )
+
+    # -- the adversary's endpoint choice (Figure 5) -------------------------
+
+    def best_achievable(self) -> Tuple[float, int, LoadReport]:
+        """Best worst-case gain over the two candidate attacks.
+
+        Per the case analysis the optimum is an endpoint: ``x = c + 1``
+        or ``x = m``.  Returns ``(gain, x, report)`` for the better one,
+        mirroring how the paper's Figure 5 search works ("either
+        querying a number of keys that is one more than the cache size
+        or querying all keys").
+        """
+        params = self._config.params
+        candidates = []
+        small = min(params.c + 1, params.m)
+        candidates.append(small)
+        if params.m != small:
+            candidates.append(params.m)
+        best: Optional[Tuple[float, int, LoadReport]] = None
+        for x in candidates:
+            report = self.uniform_attack(x)
+            if best is None or report.worst_case > best[0]:
+                best = (report.worst_case, x, report)
+        return best
+
+
+def _param_meta(params: SystemParameters) -> dict:
+    return {"n": params.n, "m": params.m, "c": params.c, "d": params.d}
+
+
+def simulate_uniform_attack(
+    params: SystemParameters,
+    x: int,
+    trials: int = 200,
+    seed: Optional[int] = None,
+    selection: str = "least-loaded",
+    exact_rates: bool = True,
+) -> LoadReport:
+    """One-call version of the paper's x-key attack experiment."""
+    sim = MonteCarloSimulator(
+        SimulationConfig(
+            params=params,
+            trials=trials,
+            seed=seed,
+            selection=selection,
+            exact_rates=exact_rates,
+        )
+    )
+    return sim.uniform_attack(x)
+
+
+def simulate_distribution(
+    params: SystemParameters,
+    distribution: KeyDistribution,
+    trials: int = 200,
+    seed: Optional[int] = None,
+    selection: str = "least-loaded",
+) -> LoadReport:
+    """One-call version of the arbitrary-pattern experiment (Figure 4)."""
+    sim = MonteCarloSimulator(
+        SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+    )
+    return sim.distribution_attack(distribution)
+
+
+def best_achievable_gain(
+    params: SystemParameters,
+    trials: int = 200,
+    seed: Optional[int] = None,
+    selection: str = "least-loaded",
+) -> Tuple[float, int]:
+    """Best worst-case gain and the ``x`` achieving it (Figure 5 unit)."""
+    sim = MonteCarloSimulator(
+        SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+    )
+    gain, x, _ = sim.best_achievable()
+    return gain, x

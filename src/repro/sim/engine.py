@@ -1,0 +1,84 @@
+"""Discrete-event core: a time-ordered event scheduler."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+__all__ = ["EventScheduler"]
+
+#: An event callback receives the scheduler and the firing time.
+EventCallback = Callable[["EventScheduler", float], None]
+
+
+class EventScheduler:
+    """Minimal binary-heap event scheduler.
+
+    Events fire in non-decreasing time order; ties break by insertion
+    order (a monotone sequence number), which keeps runs deterministic.
+    Callbacks may schedule further events, including at the current
+    time.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._seq = 0
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (last fired event's time)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Events waiting in the queue."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Events fired so far."""
+        return self._processed
+
+    def schedule(self, time: float, callback: EventCallback) -> None:
+        """Enqueue ``callback`` to fire at ``time``.
+
+        Scheduling in the past is a logic error and raises immediately —
+        silently reordering time would corrupt queueing statistics.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time:.6f}: simulation time is already {self._now:.6f}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Fire events until the queue drains (or a limit is hit).
+
+        Parameters
+        ----------
+        until:
+            Stop before firing any event later than this time (the event
+            stays queued).
+        max_events:
+            Safety valve against runaway feedback loops.
+
+        Returns the number of events fired by this call.
+        """
+        fired = 0
+        while self._heap:
+            time, _, callback = self._heap[0]
+            if until is not None and time > until:
+                break
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway event loop?")
+            heapq.heappop(self._heap)
+            self._now = time
+            callback(self, time)
+            fired += 1
+            self._processed += 1
+        return fired

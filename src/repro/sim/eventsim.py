@@ -1,0 +1,268 @@
+"""Request-level event-driven simulation of the whole Figure-1 system.
+
+Where the Monte-Carlo engine computes steady-state placements, this
+engine replays individual requests through a *real* cache policy, a
+partitioned cluster and per-node queues with capacities — so saturation,
+drops and latency become observable rather than inferred.  The
+cross-validation bench (``benchmarks/bench_eventsim.py``) confirms both
+engines agree on the paper's headline quantity (the normalized max
+load) within sampling noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..cache.base import Cache
+from ..cache.perfect import PerfectCache
+from ..cluster.cluster import Cluster
+from ..core.notation import SystemParameters
+from ..exceptions import ConfigurationError, SimulationError
+from ..rng import RngFactory
+from ..types import LoadVector
+from ..workload.distributions import KeyDistribution
+from .engine import EventScheduler
+from .queueing import NodeServer
+from .requests import Request
+
+__all__ = ["EventDrivenSimulator", "EventSimResult"]
+
+
+@dataclass(frozen=True)
+class EventSimResult:
+    """Outcome of one event-driven run.
+
+    Attributes
+    ----------
+    duration:
+        Time span covered by the arrivals (seconds).
+    frontend_hits, backend_queries:
+        Requests absorbed by the cache vs sent to nodes.
+    served, dropped:
+        Per-node outcome counts.
+    arrival_loads:
+        Per-node *offered* rates (arrivals/duration) — comparable to the
+        Monte-Carlo engine's load vectors.
+    normalized_max:
+        Max offered node rate over ``R/n`` — the attack gain realised.
+    drop_rate:
+        Dropped back-end requests / back-end requests.
+    latency_mean, latency_p50, latency_p95, latency_p99:
+        Back-end response-time statistics (``nan`` when nothing was
+        served).
+    cache_hit_rate:
+        Front-end hit fraction over the run.
+    """
+
+    duration: float
+    frontend_hits: int
+    backend_queries: int
+    served: np.ndarray
+    dropped: np.ndarray
+    arrival_loads: LoadVector
+    normalized_max: float
+    drop_rate: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    cache_hit_rate: float
+
+    def describe(self) -> str:
+        """Human-readable summary block."""
+        return "\n".join(
+            [
+                f"duration {self.duration:.3f}s, cache hit rate {self.cache_hit_rate:.3f}",
+                f"back-end queries {self.backend_queries}, drop rate {self.drop_rate:.4f}",
+                f"normalized max offered load {self.normalized_max:.3f}",
+                (
+                    f"latency mean {self.latency_mean*1e3:.2f}ms, "
+                    f"p50 {self.latency_p50*1e3:.2f}ms, "
+                    f"p95 {self.latency_p95*1e3:.2f}ms, "
+                    f"p99 {self.latency_p99*1e3:.2f}ms"
+                ),
+            ]
+        )
+
+
+class EventDrivenSimulator:
+    """Replay a query stream through cache -> cluster -> node queues.
+
+    Parameters
+    ----------
+    params:
+        System parameters; ``params.node_capacity`` (or
+        ``node_capacity``) sets each node's service rate.  The paper's
+        capacity story needs one: default is ``4 R / n`` — 4x headroom
+        over a perfectly even split.
+    distribution:
+        The access pattern to replay.
+    cache:
+        Front-end policy; defaults to the paper's perfect cache pinned
+        to the distribution's true top-``c``.
+    cluster:
+        Back-end; defaults to a random-table-partitioned cluster with a
+        private seed.
+    routing:
+        How a replica is picked per request: ``"pin"`` (each key is
+        pinned to the group member with fewest pinned keys at first
+        sight — the theory model), ``"random"`` (uniform per query) or
+        ``"least-outstanding"`` (per query, the group member with the
+        shortest queue — what smart load-balancing proxies do).
+    queue_limit, service:
+        Forwarded to every :class:`~repro.sim.queueing.NodeServer`.
+    seed:
+        Root seed for arrivals, routing and the cluster secret.
+    """
+
+    def __init__(
+        self,
+        params: SystemParameters,
+        distribution: KeyDistribution,
+        cache: Optional[Cache] = None,
+        cluster: Optional[Cluster] = None,
+        routing: str = "pin",
+        queue_limit: int = 64,
+        service: str = "deterministic",
+        node_capacity: Optional[float] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        if distribution.m != params.m:
+            raise ConfigurationError(
+                f"distribution covers {distribution.m} keys, system serves {params.m}"
+            )
+        if routing not in ("pin", "random", "least-outstanding"):
+            raise ConfigurationError(f"unknown routing {routing!r}")
+        if params.rate <= 0:
+            raise ConfigurationError("event-driven simulation needs a positive rate")
+        self._params = params
+        self._distribution = distribution
+        self._routing = routing
+        self._factory = RngFactory(seed)
+        if cache is None:
+            cache = PerfectCache.from_distribution(
+                distribution.probabilities(), params.c
+            )
+        self._cache = cache
+        if cluster is None:
+            cluster = Cluster(
+                n=params.n, d=params.d, m=params.m,
+                seed=None if seed is None else seed + 1,
+            )
+        if cluster.n != params.n or cluster.d != params.d:
+            raise ConfigurationError("cluster does not match params (n or d differ)")
+        self._cluster = cluster
+        capacity = node_capacity
+        if capacity is None:
+            capacity = params.node_capacity
+        if capacity is None:
+            capacity = 4.0 * params.rate / params.n
+        self._capacity = capacity
+        self._queue_limit = queue_limit
+        self._service = service
+        self._pins: Dict[int, int] = {}
+        self._pin_counts = np.zeros(params.n, dtype=np.int64)
+
+    @property
+    def cache(self) -> Cache:
+        """The front-end cache instance (inspect stats after a run)."""
+        return self._cache
+
+    @property
+    def cluster(self) -> Cluster:
+        """The back-end cluster."""
+        return self._cluster
+
+    def _route(
+        self, key: int, servers, gen: np.random.Generator
+    ) -> int:
+        group = self._cluster.replica_group(key)
+        if self._routing == "random":
+            return int(group[int(gen.integers(0, group.size))])
+        if self._routing == "least-outstanding":
+            outstanding = [servers[int(node)].outstanding for node in group]
+            return int(group[int(np.argmin(outstanding))])
+        # "pin": sticky key -> node assignment, least pinned at first sight.
+        pinned = self._pins.get(key)
+        if pinned is None:
+            counts = self._pin_counts[group]
+            pinned = int(group[int(np.argmin(counts))])
+            self._pins[key] = pinned
+            self._pin_counts[pinned] += 1
+        return pinned
+
+    def run(self, n_queries: int, trial: int = 0) -> EventSimResult:
+        """Replay ``n_queries`` Poisson arrivals; returns the result.
+
+        ``trial`` selects an independent randomness stream so repeated
+        runs of the same simulator are statistically independent.
+        """
+        if n_queries < 1:
+            raise SimulationError(f"need at least one query, got {n_queries}")
+        params = self._params
+        arrivals_gen = self._factory.generator("eventsim-arrivals", trial=trial)
+        routing_gen = self._factory.generator("eventsim-routing", trial=trial)
+        keys = self._distribution.sample(n_queries, rng=arrivals_gen)
+        gaps = arrivals_gen.exponential(1.0 / params.rate, size=n_queries)
+        times = np.cumsum(gaps)
+        duration = float(times[-1])
+
+        scheduler = EventScheduler()
+        servers = [
+            NodeServer(
+                node_id=i,
+                service_rate=self._capacity,
+                queue_limit=self._queue_limit,
+                service=self._service,
+                rng=self._factory.generator("eventsim-service", trial=trial * params.n + i),
+            )
+            for i in range(params.n)
+        ]
+
+        frontend_hits = 0
+        backend = 0
+        node_arrivals = np.zeros(params.n, dtype=np.int64)
+
+        def make_arrival(key: int, t: float):
+            def fire(sched: EventScheduler, now: float) -> None:
+                nonlocal frontend_hits, backend
+                if self._cache.access(int(key)):
+                    frontend_hits += 1
+                    return
+                backend += 1
+                node = self._route(int(key), servers, routing_gen)
+                node_arrivals[node] += 1
+                servers[node].arrive(sched, Request(key=int(key), arrival_time=now))
+
+            return fire
+
+        for key, t in zip(keys.tolist(), times.tolist()):
+            scheduler.schedule(float(t), make_arrival(key, float(t)))
+        scheduler.run()
+
+        served = np.array([s.served for s in servers], dtype=np.int64)
+        dropped = np.array([s.dropped for s in servers], dtype=np.int64)
+        latencies = np.concatenate(
+            [np.asarray(s.latencies) for s in servers]
+        ) if served.sum() else np.empty(0)
+        arrival_loads = LoadVector(
+            loads=node_arrivals.astype(float) / duration, total_rate=params.rate
+        )
+        return EventSimResult(
+            duration=duration,
+            frontend_hits=frontend_hits,
+            backend_queries=backend,
+            served=served,
+            dropped=dropped,
+            arrival_loads=arrival_loads,
+            normalized_max=arrival_loads.normalized_max,
+            drop_rate=float(dropped.sum() / backend) if backend else 0.0,
+            latency_mean=float(latencies.mean()) if latencies.size else float("nan"),
+            latency_p50=float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
+            latency_p95=float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
+            latency_p99=float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
+            cache_hit_rate=frontend_hits / n_queries,
+        )

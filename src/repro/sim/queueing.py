@@ -1,0 +1,125 @@
+"""Per-node FIFO queueing with finite buffers and drops.
+
+Each back-end node is a single server with service rate ``r_i`` (the
+paper's per-node capacity), a bounded FIFO queue, and a drop-on-full
+admission rule — the simplest model in which "saturating a node" has an
+observable meaning: latency explodes, then requests are lost.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import as_generator
+from .engine import EventScheduler
+from .requests import Request
+
+__all__ = ["NodeServer"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+class NodeServer:
+    """A single back-end node: one server, bounded FIFO queue.
+
+    Parameters
+    ----------
+    node_id:
+        Dense node id (for reporting).
+    service_rate:
+        Capacity ``r_i`` in queries/second.
+    queue_limit:
+        Max requests waiting (excluding the one in service); arrivals
+        beyond it are dropped.
+    service:
+        ``"deterministic"`` (service time exactly ``1/r_i``, an M/D/1
+        queue under Poisson arrivals) or ``"exponential"`` (M/M/1).
+    latency_sample_limit:
+        Cap on retained latency samples (uniform head sample) so long
+        runs stay memory-bounded.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        service_rate: float,
+        queue_limit: int = 64,
+        service: str = "deterministic",
+        rng: RngLike = None,
+        latency_sample_limit: int = 100_000,
+    ) -> None:
+        if service_rate <= 0:
+            raise ConfigurationError(f"service_rate must be positive, got {service_rate}")
+        if queue_limit < 0:
+            raise ConfigurationError(f"queue_limit must be non-negative, got {queue_limit}")
+        if service not in ("deterministic", "exponential"):
+            raise ConfigurationError(
+                f"service must be 'deterministic' or 'exponential', got {service!r}"
+            )
+        self.node_id = node_id
+        self.service_rate = service_rate
+        self.queue_limit = queue_limit
+        self._service = service
+        self._rng = as_generator(rng, f"node-server-{node_id}")
+        self._queue: Deque[Request] = deque()
+        self._in_service: Optional[Request] = None
+        self._latency_sample_limit = latency_sample_limit
+        # statistics
+        self.arrivals = 0
+        self.served = 0
+        self.dropped = 0
+        self.busy_time = 0.0
+        self.latencies: List[float] = []
+        self._service_started = 0.0
+
+    @property
+    def outstanding(self) -> int:
+        """Requests on this node right now (queued + in service)."""
+        return len(self._queue) + (1 if self._in_service is not None else 0)
+
+    def arrive(self, scheduler: EventScheduler, request: Request) -> bool:
+        """Offer a request at the current simulation time.
+
+        Returns False (and counts a drop) when the queue is full.
+        """
+        self.arrivals += 1
+        if self._in_service is None:
+            self._begin_service(scheduler, request, scheduler.now)
+            return True
+        if len(self._queue) >= self.queue_limit:
+            self.dropped += 1
+            return False
+        self._queue.append(request)
+        return True
+
+    def _service_time(self) -> float:
+        if self._service == "deterministic":
+            return 1.0 / self.service_rate
+        return float(self._rng.exponential(1.0 / self.service_rate))
+
+    def _begin_service(
+        self, scheduler: EventScheduler, request: Request, start: float
+    ) -> None:
+        self._in_service = request
+        self._service_started = start
+        scheduler.schedule(start + self._service_time(), self._complete)
+
+    def _complete(self, scheduler: EventScheduler, time: float) -> None:
+        request = self._in_service
+        self._in_service = None
+        self.served += 1
+        self.busy_time += time - self._service_started
+        if len(self.latencies) < self._latency_sample_limit:
+            self.latencies.append(time - request.arrival_time)
+        if self._queue:
+            self._begin_service(scheduler, self._queue.popleft(), time)
+
+    def utilization(self, duration: float) -> float:
+        """Fraction of ``duration`` the server spent busy."""
+        if duration <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / duration)

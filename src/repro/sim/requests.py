@@ -1,0 +1,23 @@
+"""Request-level records for the event-driven simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Request"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client query as seen by the back end.
+
+    Attributes
+    ----------
+    key:
+        Queried key.
+    arrival_time:
+        When the query reached the system (seconds since trial start).
+    """
+
+    key: int
+    arrival_time: float

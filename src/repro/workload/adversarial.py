@@ -1,0 +1,76 @@
+"""The adversarial access pattern as a workload distribution.
+
+Bridges :mod:`repro.core.strategy` (where the pattern is derived) into
+the :class:`~repro.workload.distributions.KeyDistribution` interface the
+simulators consume: uniform over a prefix of ``x`` keys, the Theorem-1
+fixed point with minimal cache absorption.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.notation import SystemParameters
+from ..core.cases import optimal_query_count
+from ..exceptions import DistributionError
+from .distributions import KeyDistribution
+
+__all__ = ["AdversarialDistribution"]
+
+
+class AdversarialDistribution(KeyDistribution):
+    """Uniform queries over the first ``x`` of ``m`` keys.
+
+    Parameters
+    ----------
+    m:
+        Key-space size.
+    x:
+        Number of keys the adversary queries.  To bypass a cache of size
+        ``c`` the adversary picks ``x > c``; :meth:`optimal_for` chooses
+        the bound-optimal ``x`` automatically.
+    """
+
+    name = "adversarial"
+
+    def __init__(self, m: int, x: int) -> None:
+        super().__init__(m)
+        if not 1 <= x <= m:
+            raise DistributionError(f"need 1 <= x <= m, got x={x}, m={m}")
+        self._x = x
+
+    @classmethod
+    def optimal_for(
+        cls, params: SystemParameters, k: float = None, k_prime: float = 0.0
+    ) -> "AdversarialDistribution":
+        """The bound-optimal pattern against a known ``(n, m, c, d)``.
+
+        Case 1 (small cache): ``x = c + 1``; Case 2 (provisioned cache):
+        ``x = m`` — see :mod:`repro.core.cases`.
+        """
+        return cls(params.m, optimal_query_count(params, k=k, k_prime=k_prime))
+
+    @property
+    def x(self) -> int:
+        """Number of keys queried."""
+        return self._x
+
+    def probabilities(self) -> np.ndarray:
+        probs = np.zeros(self._m)
+        probs[: self._x] = 1.0 / self._x
+        return probs
+
+    def sample(self, size, rng=None):
+        # Uniform prefix: sample directly instead of via the CDF table.
+        from ..rng import as_generator
+
+        if size < 0:
+            raise DistributionError(f"size must be non-negative, got {size}")
+        gen = as_generator(rng, "sample-adversarial")
+        return gen.integers(0, self._x, size=size, dtype=np.int64)
+
+    def uncached_keys(self, c: int) -> np.ndarray:
+        """Keys that bypass a perfect cache of size ``c`` (may be empty)."""
+        if c < 0:
+            raise DistributionError(f"c must be non-negative, got {c}")
+        return np.arange(min(c, self._x), self._x, dtype=np.int64)

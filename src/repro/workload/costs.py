@@ -1,0 +1,188 @@
+"""Non-uniform query costs — relaxing the paper's assumption 4.
+
+The paper assumes every query costs the back end the same (assumption
+4) and points at Fan et al. [18] for handling mixes of reads, writes and
+updates with different costs.  The standard reduction, implemented here:
+measure load in *cost units* instead of queries.  If key ``i`` is
+queried at rate ``q_i`` and each of its queries costs ``w_i`` units,
+the back-end load it generates is ``q_i * w_i`` — and every theorem
+goes through with ``R`` replaced by the offered *cost rate*
+``sum_i q_i w_i``, because the balls-into-bins argument never used the
+fact that ball weights were equal rates (see
+:class:`repro.cluster.selection.LeastLoadedKeyPinning`, which already
+places by accumulated weight).
+
+The adversary-side consequence is also exposed:
+:meth:`CostModel.worst_case_inflation` — an attacker who can choose
+expensive operations multiplies their effective rate by at most
+``max_cost / mean_cost`` of the benign mix, which is how an operator
+should derate capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import as_generator
+from .distributions import KeyDistribution
+
+__all__ = ["OperationMix", "CostModel", "WeightedWorkload"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+@dataclass(frozen=True)
+class OperationMix:
+    """A mix of operation classes with per-class back-end costs.
+
+    Parameters
+    ----------
+    classes:
+        Mapping of class name -> (fraction of queries, cost units per
+        query).  Fractions must sum to 1; costs must be positive.
+
+    Examples
+    --------
+    >>> mix = OperationMix({"read": (0.9, 1.0), "write": (0.1, 5.0)})
+    >>> round(mix.mean_cost, 2)
+    1.4
+    """
+
+    classes: Mapping[str, Tuple[float, float]]
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ConfigurationError("need at least one operation class")
+        total = 0.0
+        for name, (fraction, cost) in self.classes.items():
+            if fraction < 0:
+                raise ConfigurationError(f"{name}: fraction must be non-negative")
+            if cost <= 0:
+                raise ConfigurationError(f"{name}: cost must be positive")
+            total += fraction
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ConfigurationError(f"fractions must sum to 1, got {total}")
+        object.__setattr__(self, "classes", dict(self.classes))
+
+    @property
+    def mean_cost(self) -> float:
+        """Expected cost units per query under the declared mix."""
+        return sum(f * c for f, c in self.classes.values())
+
+    @property
+    def max_cost(self) -> float:
+        """Cost of the most expensive class."""
+        return max(c for _, c in self.classes.values())
+
+    def worst_case_inflation(self) -> float:
+        """Factor by which an adversary choosing only the most expensive
+        operation inflates their effective rate over the benign mix.
+
+        Capacity planned against rate ``R`` of the benign mix must be
+        derated by this factor when clients pick their own operations.
+        """
+        return self.max_cost / self.mean_cost
+
+    def sample_costs(self, size: int, rng: RngLike = None) -> np.ndarray:
+        """Draw per-query costs i.i.d. from the mix."""
+        if size < 0:
+            raise ConfigurationError(f"size must be non-negative, got {size}")
+        gen = as_generator(rng, "operation-mix")
+        names = list(self.classes)
+        fractions = np.array([self.classes[n][0] for n in names])
+        costs = np.array([self.classes[n][1] for n in names])
+        picks = gen.choice(len(names), size=size, p=fractions)
+        return costs[picks]
+
+
+class CostModel:
+    """Per-key query costs (cost units per query for each key).
+
+    Keys may have intrinsically different costs (a large blob vs a tiny
+    counter); this is orthogonal to the *operation* mix and composes
+    with it multiplicatively.
+    """
+
+    def __init__(self, key_costs: np.ndarray) -> None:
+        key_costs = np.asarray(key_costs, dtype=float)
+        if key_costs.ndim != 1 or key_costs.size == 0:
+            raise ConfigurationError("key_costs must be a non-empty 1-D vector")
+        if np.any(key_costs <= 0):
+            raise ConfigurationError("every key cost must be positive")
+        self._costs = key_costs
+
+    @classmethod
+    def uniform(cls, m: int, cost: float = 1.0) -> "CostModel":
+        """The paper's assumption 4: every key costs the same."""
+        if m < 1:
+            raise ConfigurationError(f"need at least one key, got {m}")
+        return cls(np.full(m, cost))
+
+    @property
+    def m(self) -> int:
+        """Number of keys covered."""
+        return int(self._costs.size)
+
+    def cost_of(self, key: int) -> float:
+        """Cost units per query for ``key``."""
+        return float(self._costs[key])
+
+    def costs(self) -> np.ndarray:
+        """The full per-key cost vector (copy)."""
+        return self._costs.copy()
+
+    @property
+    def max_cost(self) -> float:
+        """Most expensive key's per-query cost."""
+        return float(self._costs.max())
+
+
+class WeightedWorkload:
+    """A popularity law combined with per-key costs.
+
+    Produces the *cost-rate* vector the cluster actually feels:
+    ``rate_i = R * p_i * w_i``.  Feed :meth:`effective_rates` to
+    :meth:`repro.cluster.cluster.Cluster.apply_rates` (whose selection
+    policies are already weight-aware) and normalize gains by
+    :meth:`even_split`.
+    """
+
+    def __init__(self, distribution: KeyDistribution, cost_model: CostModel) -> None:
+        if distribution.m != cost_model.m:
+            raise ConfigurationError(
+                f"distribution covers {distribution.m} keys, "
+                f"cost model covers {cost_model.m}"
+            )
+        self._distribution = distribution
+        self._cost_model = cost_model
+
+    @property
+    def distribution(self) -> KeyDistribution:
+        """The underlying popularity law."""
+        return self._distribution
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The per-key cost model."""
+        return self._cost_model
+
+    def effective_rates(self, total_rate: float) -> np.ndarray:
+        """Per-key back-end cost rates at offered query rate ``R``."""
+        if total_rate < 0:
+            raise ConfigurationError("total_rate must be non-negative")
+        return self._distribution.probabilities() * total_rate * self._cost_model.costs()
+
+    def total_cost_rate(self, total_rate: float) -> float:
+        """Aggregate cost units/second the workload offers — the ``R``
+        that replaces the query rate in every bound."""
+        return float(self.effective_rates(total_rate).sum())
+
+    def even_split(self, total_rate: float, n: int) -> float:
+        """Cost-rate analogue of ``R/n`` for gain normalization."""
+        if n < 1:
+            raise ConfigurationError(f"need at least one node, got {n}")
+        return self.total_cost_rate(total_rate) / n

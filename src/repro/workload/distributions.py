@@ -1,0 +1,192 @@
+"""Key-popularity distributions.
+
+The common contract (:class:`KeyDistribution`):
+
+- :meth:`~KeyDistribution.probabilities` returns the exact length-``m``
+  probability vector (sums to 1);
+- :meth:`~KeyDistribution.sample` draws query keys i.i.d. from it, via a
+  cached inverse-CDF table (O(log m) per draw, vectorised);
+- :meth:`~KeyDistribution.top_keys` lists the ``c`` most popular keys —
+  what a perfect front-end cache pins.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Union
+
+import numpy as np
+
+from ..exceptions import DistributionError
+from ..rng import as_generator
+
+__all__ = [
+    "KeyDistribution",
+    "UniformDistribution",
+    "PointMassDistribution",
+    "CustomDistribution",
+    "GeometricDistribution",
+]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+class KeyDistribution(ABC):
+    """A probability distribution over the key space ``0 .. m-1``."""
+
+    #: Short name used in reports and figure legends.
+    name: str = "abstract"
+
+    def __init__(self, m: int) -> None:
+        if m < 1:
+            raise DistributionError(f"need at least one key, got m={m}")
+        self._m = m
+        self._cdf: Optional[np.ndarray] = None
+
+    @property
+    def m(self) -> int:
+        """Size of the key space."""
+        return self._m
+
+    @abstractmethod
+    def probabilities(self) -> np.ndarray:
+        """Exact probability vector of length ``m`` (sums to 1)."""
+
+    def _cached_cdf(self) -> np.ndarray:
+        if self._cdf is None:
+            probs = self.probabilities()
+            if probs.shape != (self._m,):
+                raise DistributionError(
+                    f"probabilities() returned shape {probs.shape}, expected ({self._m},)"
+                )
+            if np.any(probs < 0):
+                raise DistributionError("negative probability mass")
+            total = float(probs.sum())
+            if not np.isclose(total, 1.0, atol=1e-9):
+                raise DistributionError(f"probabilities sum to {total}, expected 1")
+            self._cdf = np.cumsum(probs)
+            self._cdf[-1] = 1.0  # guard against cumsum round-off
+        return self._cdf
+
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``size`` keys i.i.d. from the distribution."""
+        if size < 0:
+            raise DistributionError(f"size must be non-negative, got {size}")
+        gen = as_generator(rng, f"sample-{self.name}")
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        u = gen.random(size)
+        return np.searchsorted(self._cached_cdf(), u, side="right").astype(np.int64)
+
+    def sample_counts(self, n_queries: int, rng: RngLike = None) -> np.ndarray:
+        """Multinomial per-key query counts of an ``n_queries`` batch."""
+        if n_queries < 0:
+            raise DistributionError(f"n_queries must be non-negative, got {n_queries}")
+        gen = as_generator(rng, f"counts-{self.name}")
+        probs = self.probabilities()
+        return gen.multinomial(n_queries, probs).astype(np.int64)
+
+    def expected_rates(self, total_rate: float) -> np.ndarray:
+        """Per-key steady-state rates when offering ``total_rate`` qps."""
+        if total_rate < 0:
+            raise DistributionError(f"total_rate must be non-negative, got {total_rate}")
+        return self.probabilities() * total_rate
+
+    def top_keys(self, c: int) -> np.ndarray:
+        """The ``c`` most popular keys (stable tie-break by key id)."""
+        if c < 0:
+            raise DistributionError(f"c must be non-negative, got {c}")
+        c = min(c, self._m)
+        if c == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.argsort(-self.probabilities(), kind="stable")[:c].astype(np.int64)
+
+
+class UniformDistribution(KeyDistribution):
+    """Uniform over all ``m`` keys — Figure 4's load-balancing baseline."""
+
+    name = "uniform"
+
+    def probabilities(self) -> np.ndarray:
+        return np.full(self._m, 1.0 / self._m)
+
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        if size < 0:
+            raise DistributionError(f"size must be non-negative, got {size}")
+        gen = as_generator(rng, "sample-uniform")
+        return gen.integers(0, self._m, size=size, dtype=np.int64)
+
+
+class PointMassDistribution(KeyDistribution):
+    """All mass on a single key — the crudest hotspot attack.
+
+    Against this architecture it is also the *weakest* attack: one key is
+    either cached (gain 0) or a single ball on one node; included as a
+    degenerate-case check.
+    """
+
+    name = "point-mass"
+
+    def __init__(self, m: int, key: int = 0) -> None:
+        super().__init__(m)
+        if not 0 <= key < m:
+            raise DistributionError(f"key must be in [0, m), got {key}")
+        self._key = key
+
+    @property
+    def key(self) -> int:
+        """The hot key."""
+        return self._key
+
+    def probabilities(self) -> np.ndarray:
+        probs = np.zeros(self._m)
+        probs[self._key] = 1.0
+        return probs
+
+
+class CustomDistribution(KeyDistribution):
+    """Wrap an arbitrary probability vector (e.g. replayed from a trace)."""
+
+    name = "custom"
+
+    def __init__(self, probs: np.ndarray) -> None:
+        probs = np.asarray(probs, dtype=float)
+        if probs.ndim != 1 or probs.size == 0:
+            raise DistributionError("probs must be a non-empty 1-D vector")
+        if np.any(probs < 0):
+            raise DistributionError("probs must be non-negative")
+        total = float(probs.sum())
+        if total <= 0:
+            raise DistributionError("probs must have positive total mass")
+        super().__init__(probs.size)
+        self._probs = probs / total
+
+    def probabilities(self) -> np.ndarray:
+        return self._probs.copy()
+
+
+class GeometricDistribution(KeyDistribution):
+    """Truncated geometric popularity: ``p_i proportional to ratio**i``.
+
+    A convenient knob between uniform (``ratio -> 1``) and extremely
+    skewed (``ratio`` small) used by cache-policy stress tests.
+    """
+
+    name = "geometric"
+
+    def __init__(self, m: int, ratio: float = 0.99) -> None:
+        super().__init__(m)
+        if not 0.0 < ratio <= 1.0:
+            raise DistributionError(f"ratio must be in (0, 1], got {ratio}")
+        self._ratio = ratio
+
+    @property
+    def ratio(self) -> float:
+        """Per-rank decay factor."""
+        return self._ratio
+
+    def probabilities(self) -> np.ndarray:
+        if self._ratio == 1.0:
+            return np.full(self._m, 1.0 / self._m)
+        weights = np.power(self._ratio, np.arange(self._m, dtype=float))
+        return weights / weights.sum()

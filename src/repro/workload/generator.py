@@ -1,0 +1,114 @@
+"""Query-stream generation: turn a distribution into traffic.
+
+Two consumption styles:
+
+- **batch** (:meth:`QueryStream.counts`, :meth:`QueryStream.rates`) for
+  the Monte-Carlo simulators that only need per-key totals;
+- **streaming** (:meth:`QueryStream.__iter__`,
+  :meth:`QueryStream.chunks`) for the event-driven simulator and the
+  real cache policies, which care about request ordering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..rng import as_generator
+from .distributions import KeyDistribution
+
+__all__ = ["QueryStream"]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+class QueryStream:
+    """A finite stream of queries drawn from a key distribution.
+
+    Parameters
+    ----------
+    distribution:
+        Popularity law to draw keys from.
+    n_queries:
+        Stream length.
+    rate:
+        Aggregate offered rate ``R`` (queries/second); used to convert
+        counts to steady-state rates and to derive Poisson timestamps.
+    rng:
+        Seed / generator for reproducible streams.
+    """
+
+    def __init__(
+        self,
+        distribution: KeyDistribution,
+        n_queries: int,
+        rate: float = 1.0,
+        rng: RngLike = None,
+    ) -> None:
+        if n_queries < 0:
+            raise ConfigurationError(f"n_queries must be non-negative, got {n_queries}")
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self._distribution = distribution
+        self._n_queries = n_queries
+        self._rate = rate
+        self._rng = as_generator(rng, "query-stream")
+
+    @property
+    def distribution(self) -> KeyDistribution:
+        """The popularity law behind the stream."""
+        return self._distribution
+
+    @property
+    def n_queries(self) -> int:
+        """Total queries in the stream."""
+        return self._n_queries
+
+    @property
+    def rate(self) -> float:
+        """Aggregate offered rate ``R``."""
+        return self._rate
+
+    def counts(self) -> np.ndarray:
+        """Multinomial per-key counts of the whole stream (one draw)."""
+        return self._distribution.sample_counts(self._n_queries, rng=self._rng)
+
+    def rates(self) -> np.ndarray:
+        """Exact expected per-key rates (no sampling noise)."""
+        return self._distribution.expected_rates(self._rate)
+
+    def keys(self) -> np.ndarray:
+        """The full key sequence as one array (ordering matters for
+        caches; keys are i.i.d., so the order is exchangeable)."""
+        return self._distribution.sample(self._n_queries, rng=self._rng)
+
+    def chunks(self, chunk_size: int = 65536) -> Iterator[np.ndarray]:
+        """Yield the stream as arrays of at most ``chunk_size`` keys.
+
+        Keeps memory bounded for long streams while preserving the
+        vectorised sampling speed.
+        """
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+        remaining = self._n_queries
+        while remaining > 0:
+            take = min(chunk_size, remaining)
+            yield self._distribution.sample(take, rng=self._rng)
+            remaining -= take
+
+    def __iter__(self) -> Iterator[int]:
+        for chunk in self.chunks():
+            yield from chunk.tolist()
+
+    def arrival_times(self) -> np.ndarray:
+        """Poisson arrival timestamps for the stream at rate ``R``.
+
+        Exponential inter-arrivals with mean ``1/R``; used by the
+        event-driven simulator to model open-loop attack traffic.
+        """
+        if self._n_queries == 0:
+            return np.empty(0)
+        gaps = self._rng.exponential(1.0 / self._rate, size=self._n_queries)
+        return np.cumsum(gaps)

@@ -1,0 +1,108 @@
+"""Workload mixtures: attacks riding on benign traffic, flash crowds.
+
+Real incidents are never pure: attack queries arrive *on top of* a
+benign base load, and the operationally hard question is telling a DDoS
+(adversarial key spread) from a flash crowd (legitimate popularity
+spike).  :class:`MixtureDistribution` composes any component laws with
+weights, giving the experiments both phenomena:
+
+- ``Mixture[0.8 * Zipf, 0.2 * Adversarial]`` — a stealthy attack hiding
+  in benign skew;
+- ``Mixture[0.9 * Zipf, 0.1 * PointMass(hot)]`` — a flash crowd on one
+  item (which the front-end cache absorbs entirely — the paper's
+  architecture handles flash crowds for free).
+
+The defender-side classifier over these lives in
+:mod:`repro.analysis.detection`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import DistributionError
+from ..rng import as_generator
+from .distributions import KeyDistribution
+
+__all__ = ["MixtureDistribution"]
+
+
+class MixtureDistribution(KeyDistribution):
+    """Convex combination of component key distributions.
+
+    Parameters
+    ----------
+    components:
+        ``(weight, distribution)`` pairs over a common key space;
+        weights must be positive and are normalised to sum to 1.
+    """
+
+    name = "mixture"
+
+    def __init__(self, components: Sequence[Tuple[float, KeyDistribution]]) -> None:
+        if not components:
+            raise DistributionError("need at least one component")
+        m = components[0][1].m
+        weights: List[float] = []
+        dists: List[KeyDistribution] = []
+        for weight, dist in components:
+            if weight <= 0:
+                raise DistributionError(f"weights must be positive, got {weight}")
+            if dist.m != m:
+                raise DistributionError(
+                    f"components span different key spaces ({dist.m} vs {m})"
+                )
+            weights.append(float(weight))
+            dists.append(dist)
+        super().__init__(m)
+        total = sum(weights)
+        self._weights = np.asarray([w / total for w in weights])
+        self._components = tuple(dists)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised component weights (copy)."""
+        return self._weights.copy()
+
+    @property
+    def components(self) -> Tuple[KeyDistribution, ...]:
+        """The component distributions."""
+        return self._components
+
+    def probabilities(self) -> np.ndarray:
+        probs = np.zeros(self._m)
+        for weight, dist in zip(self._weights, self._components):
+            probs += weight * dist.probabilities()
+        return probs
+
+    def sample(self, size, rng=None):
+        """Hierarchical sampling: pick a component per query, then a key.
+
+        Delegating to component samplers preserves any special ordering
+        semantics they have (e.g. a cyclic scan component stays cyclic
+        within its share of the stream).
+        """
+        if size < 0:
+            raise DistributionError(f"size must be non-negative, got {size}")
+        gen = as_generator(rng, "mixture")
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        assignment = gen.choice(len(self._components), size=size, p=self._weights)
+        out = np.empty(size, dtype=np.int64)
+        for index, dist in enumerate(self._components):
+            mask = assignment == index
+            count = int(mask.sum())
+            if count:
+                out[mask] = dist.sample(count, rng=gen)
+        return out
+
+    def attack_fraction(self, attack_index: int) -> float:
+        """Weight of the component at ``attack_index`` (convenience for
+        experiments that sweep the attack share)."""
+        if not 0 <= attack_index < len(self._components):
+            raise DistributionError(
+                f"attack_index must be in [0, {len(self._components)}), got {attack_index}"
+            )
+        return float(self._weights[attack_index])

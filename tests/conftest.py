@@ -1,0 +1,24 @@
+"""Shared fixtures for the repro test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.notation import SystemParameters
+
+
+@pytest.fixture
+def small_params() -> SystemParameters:
+    """A small replicated system used across unit tests."""
+    return SystemParameters(n=20, m=500, c=10, d=3, rate=1000.0)
+
+
+@pytest.fixture
+def paper_params() -> SystemParameters:
+    """The paper's Figure-3(a) system."""
+    return SystemParameters(n=1000, m=100_000, c=200, d=3, rate=1e5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fixed-seed generator for deterministic unit tests."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,109 @@
+"""Tests for repro.adversary.multiclient (botnet coordination)."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.multiclient import (
+    MirroredBotnet,
+    PartitionedBotnet,
+    aggregate_rates,
+)
+from repro.core.notation import SystemParameters
+from repro.exceptions import ConfigurationError
+from repro.workload.adversarial import AdversarialDistribution
+from repro.workload.distributions import UniformDistribution
+
+
+@pytest.fixture
+def public():
+    return SystemParameters(n=50, m=1000, c=20, d=3, rate=5000.0)
+
+
+class TestAggregateRates:
+    def test_sums_weighted_probabilities(self):
+        rates = aggregate_rates(
+            [UniformDistribution(10), AdversarialDistribution(10, 2)], [10.0, 20.0]
+        )
+        assert rates.sum() == pytest.approx(30.0)
+        assert rates[0] == pytest.approx(1.0 + 10.0)
+        assert rates[5] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_rates([], [])
+        with pytest.raises(ConfigurationError):
+            aggregate_rates([UniformDistribution(10)], [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            aggregate_rates(
+                [UniformDistribution(10), UniformDistribution(11)], [1.0, 1.0]
+            )
+        with pytest.raises(ConfigurationError):
+            aggregate_rates([UniformDistribution(10)], [-1.0])
+
+
+class TestMirroredBotnet:
+    def test_aggregate_equals_single_adversary(self, public):
+        """Linearity: k mirrored bots at R/k == one adversary at R."""
+        botnet = MirroredBotnet(public, x=100, clients=7)
+        aggregate = botnet.aggregate().probabilities()
+        single = AdversarialDistribution(public.m, 100).probabilities()
+        assert np.allclose(aggregate, single)
+
+    def test_per_client_rate(self, public):
+        assert MirroredBotnet(public, x=100, clients=4).per_client_rate() == 1250.0
+
+    def test_same_system_outcome_as_single(self, public):
+        """The simulator cannot tell a mirrored botnet from one client."""
+        from repro.sim.analytic import simulate_distribution
+
+        botnet = MirroredBotnet(public, x=public.c + 1, clients=5)
+        joint = simulate_distribution(public, botnet.aggregate(), trials=10, seed=3)
+        single = simulate_distribution(
+            public, AdversarialDistribution(public.m, public.c + 1), trials=10, seed=3
+        )
+        assert joint.worst_case == pytest.approx(single.worst_case)
+
+    def test_validation(self, public):
+        with pytest.raises(ConfigurationError):
+            MirroredBotnet(public, x=100, clients=0)
+        with pytest.raises(ConfigurationError):
+            MirroredBotnet(public, x=0, clients=2)
+
+
+class TestPartitionedBotnet:
+    def test_slices_cover_x_disjointly(self, public):
+        botnet = PartitionedBotnet(public, x=100, clients=7)
+        slices = botnet.slices()
+        covered = []
+        for start, stop in slices:
+            covered.extend(range(start, stop))
+        assert covered == list(range(100))
+
+    def test_aggregate_equals_single_adversary_when_balanced(self, public):
+        botnet = PartitionedBotnet(public, x=100, clients=4)  # balanced split
+        aggregate = botnet.aggregate().probabilities()
+        single = AdversarialDistribution(public.m, 100).probabilities()
+        assert np.allclose(aggregate, single)
+
+    def test_each_bot_looks_small(self, public):
+        """Per-source footprint shrinks 1/k: the rate-limiting evasion."""
+        botnet = PartitionedBotnet(public, x=100, clients=10)
+        assert botnet.max_keys_per_client() == 10
+        assert botnet.per_client_rate() == pytest.approx(public.rate / 10)
+        for dist in botnet.client_distributions():
+            assert np.count_nonzero(dist.probabilities()) == 10
+
+    def test_unbalanced_split_still_sums_to_one(self, public):
+        botnet = PartitionedBotnet(public, x=100, clients=7)
+        aggregate = botnet.aggregate().probabilities()
+        assert aggregate.sum() == pytest.approx(1.0)
+        # Support is exactly the attacked prefix.
+        assert np.count_nonzero(aggregate) == 100
+
+    def test_validation(self, public):
+        with pytest.raises(ConfigurationError):
+            PartitionedBotnet(public, x=5, clients=6)  # more bots than keys
+        with pytest.raises(ConfigurationError):
+            PartitionedBotnet(public, x=public.m + 1, clients=2)
+        with pytest.raises(ConfigurationError):
+            PartitionedBotnet(public, x=10, clients=0)

@@ -1,0 +1,84 @@
+"""Tests for repro.ballsbins.occupancy (stats and k' calibration)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.occupancy import (
+    calibrate_k_prime,
+    max_occupancy_trials,
+    occupancy_stats,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestOccupancyStats:
+    def test_basic_fields(self):
+        stats = occupancy_stats(np.array([0, 1, 2, 5]))
+        assert stats.balls == 8
+        assert stats.bins == 4
+        assert stats.max_load == 5
+        assert stats.min_load == 0
+        assert stats.mean_load == pytest.approx(2.0)
+        assert stats.gap == pytest.approx(3.0)
+        assert stats.empty_bins == 1
+
+    def test_describe(self):
+        text = occupancy_stats(np.array([1, 1])).describe()
+        assert "2 balls" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            occupancy_stats(np.array([]))
+
+
+class TestMaxOccupancyTrials:
+    def test_shape_and_reproducibility(self):
+        a = max_occupancy_trials(1000, 50, 3, trials=5, seed=3)
+        b = max_occupancy_trials(1000, 50, 3, trials=5, seed=3)
+        assert a.shape == (5,)
+        assert (a == b).all()
+
+    def test_trials_are_independent(self):
+        maxima = max_occupancy_trials(5000, 20, 1, trials=10, seed=3)
+        assert len(set(maxima.tolist())) > 1  # one-choice maxima fluctuate
+
+    def test_d_one_supported(self):
+        maxima = max_occupancy_trials(1000, 10, 1, trials=3, seed=1)
+        assert (maxima >= 100).all()
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ConfigurationError):
+            max_occupancy_trials(10, 5, 2, trials=0)
+
+
+class TestCalibrateKPrime:
+    def test_small_for_d_choice(self):
+        """The Theta(1) remainder is genuinely O(1): across load levels
+        it stays within a narrow band around zero."""
+        for balls in (2000, 20_000):
+            k_prime = calibrate_k_prime(balls, 200, 3, trials=15, seed=5)
+            assert -1.5 < k_prime < 1.5
+
+    def test_quantile_ordering(self):
+        hi = calibrate_k_prime(5000, 100, 3, trials=20, seed=5, quantile=1.0)
+        lo = calibrate_k_prime(5000, 100, 3, trials=20, seed=5, quantile=0.0)
+        assert hi >= lo
+
+    def test_calibrated_bound_covers_simulation(self):
+        """Folding the calibrated k' back into the bound covers fresh
+        (different-seed) simulations."""
+        balls, bins, d = 10_000, 100, 3
+        k_prime = calibrate_k_prime(balls, bins, d, trials=25, seed=11, quantile=1.0)
+        bound = balls / bins + math.log(math.log(bins)) / math.log(d) + k_prime + 0.5
+        fresh = max_occupancy_trials(balls, bins, d, trials=15, seed=99)
+        assert (fresh <= bound).all()
+
+    def test_rejects_d_one(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_k_prime(100, 10, 1)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_k_prime(100, 10, 2, quantile=1.5)

@@ -1,0 +1,111 @@
+"""Cross-policy cache invariants (every replacement policy must pass)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import (
+    ARCCache,
+    ClockCache,
+    FIFOCache,
+    FrequencyAdmissionCache,
+    LFUAgingCache,
+    LFUCache,
+    LRUCache,
+    RandomEvictionCache,
+    SieveCache,
+    SLRUCache,
+    TwoQCache,
+    make_cache,
+)
+
+FACTORIES = {
+    "lru": lambda cap: LRUCache(cap),
+    "fifo": lambda cap: FIFOCache(cap),
+    "random": lambda cap: RandomEvictionCache(cap, rng=7),
+    "clock": lambda cap: ClockCache(cap),
+    "lfu": lambda cap: LFUCache(cap),
+    "lfu-aging": lambda cap: LFUAgingCache(cap, aging_interval=64),
+    "2q": lambda cap: TwoQCache(cap),
+    "arc": lambda cap: ARCCache(cap),
+    "slru": lambda cap: SLRUCache(cap),
+    "sieve": lambda cap: SieveCache(cap),
+    "tinylfu-lru": lambda cap: FrequencyAdmissionCache(LRUCache(cap)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(FACTORIES), ids=sorted(FACTORIES))
+class TestCacheContract:
+    def test_never_exceeds_capacity(self, name):
+        cache = FACTORIES[name](8)
+        rng = np.random.default_rng(1)
+        for key in rng.integers(0, 100, size=2000).tolist():
+            cache.access(key)
+            assert len(cache) <= 8
+
+    def test_hit_iff_resident(self, name):
+        cache = FACTORIES[name](8)
+        rng = np.random.default_rng(2)
+        for key in rng.integers(0, 30, size=1000).tolist():
+            resident = key in cache
+            assert cache.access(key) == resident
+
+    def test_repeated_single_key_hits_after_first(self, name):
+        cache = FACTORIES[name](4)
+        assert not cache.access(5)
+        for _ in range(10):
+            assert cache.access(5)
+        assert cache.stats.hits == 10
+        assert cache.stats.misses == 1
+
+    def test_working_set_within_capacity_always_hits(self, name):
+        cache = FACTORIES[name](10)
+        keys = list(range(5))
+        for key in keys:
+            cache.access(key)
+        for _ in range(20):
+            for key in keys:
+                assert cache.access(key)
+
+    def test_zero_capacity_always_misses(self, name):
+        cache = FACTORIES[name](0)
+        for key in (1, 1, 2):
+            assert not cache.access(key)
+        assert len(cache) == 0
+        assert cache.stats.hit_rate == 0.0
+
+    def test_keys_are_the_resident_set(self, name):
+        cache = FACTORIES[name](6)
+        rng = np.random.default_rng(3)
+        for key in rng.integers(0, 40, size=500).tolist():
+            cache.access(key)
+        resident = set(cache.keys())
+        assert len(resident) == len(cache)
+        for key in resident:
+            assert key in cache
+
+    def test_stats_add_up(self, name):
+        cache = FACTORIES[name](5)
+        rng = np.random.default_rng(4)
+        n = 777
+        for key in rng.integers(0, 25, size=n).tolist():
+            cache.access(key)
+        assert cache.stats.hits + cache.stats.misses == n
+        assert 0.0 <= cache.stats.hit_rate <= 1.0
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=12),
+        seed=st.integers(min_value=0, max_value=500),
+        universe=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_invariants_property(self, name, capacity, seed, universe):
+        """Capacity bound + hit-iff-resident over random access strings."""
+        cache = FACTORIES[name](capacity)
+        rng = np.random.default_rng(seed)
+        for key in rng.integers(0, universe, size=300).tolist():
+            was_resident = key in cache
+            hit = cache.access(key)
+            assert hit == was_resident
+            assert len(cache) <= capacity

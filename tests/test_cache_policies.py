@@ -1,0 +1,236 @@
+"""Policy-specific behaviour tests for the cache implementations."""
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    ARCCache,
+    ClockCache,
+    FIFOCache,
+    LFUAgingCache,
+    LFUCache,
+    LRUCache,
+    PerfectCache,
+    RandomEvictionCache,
+    TwoQCache,
+    make_cache,
+)
+from repro.exceptions import CacheError, ConfigurationError
+
+
+class TestPerfectCache:
+    def test_pins_prefix_by_default(self):
+        cache = PerfectCache(3)
+        assert cache.access(0) and cache.access(2)
+        assert not cache.access(3)
+        assert len(cache) == 3
+
+    def test_misses_never_change_residency(self):
+        cache = PerfectCache(2)
+        for _ in range(100):
+            cache.access(99)
+        assert 99 not in cache
+        assert cache.stats.misses == 100
+
+    def test_from_distribution_picks_true_top(self):
+        probs = np.array([0.1, 0.5, 0.1, 0.3])
+        cache = PerfectCache.from_distribution(probs, 2)
+        assert cache.pinned == {1, 3}
+
+    def test_from_distribution_tie_break_stable(self):
+        probs = np.array([0.25, 0.25, 0.25, 0.25])
+        cache = PerfectCache.from_distribution(probs, 2)
+        assert cache.pinned == {0, 1}
+
+    def test_from_distribution_capacity_exceeds_keys(self):
+        cache = PerfectCache.from_distribution(np.array([0.6, 0.4]), 10)
+        assert cache.pinned == {0, 1}
+
+    def test_rejects_duplicate_pins(self):
+        with pytest.raises(CacheError):
+            PerfectCache(3, pinned=[1, 1])
+
+    def test_rejects_overfull_pins(self):
+        with pytest.raises(CacheError):
+            PerfectCache(1, pinned=[1, 2])
+
+
+class TestLRU:
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # 1 is now most recent
+        cache.access(3)  # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_scan_flushes_everything(self):
+        cache = LRUCache(4)
+        for key in range(4):
+            cache.access(key)
+        for key in range(100, 108):
+            cache.access(key)
+        assert all(key not in cache for key in range(4))
+
+
+class TestFIFO:
+    def test_hits_do_not_protect(self):
+        cache = FIFOCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # hit, but FIFO order unchanged
+        cache.access(3)  # evicts 1 (oldest insertion)
+        assert 1 not in cache and 2 in cache and 3 in cache
+
+
+class TestClock:
+    def test_second_chance(self):
+        cache = ClockCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)  # sets 1's reference bit
+        cache.access(3)  # hand clears 1's bit, evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+
+class TestLFU:
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        for _ in range(3):
+            cache.access(1)
+        cache.access(2)
+        cache.access(3)  # evicts 2 (freq 1) not 1 (freq 3)
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_frequency_counter(self):
+        cache = LFUCache(4)
+        for _ in range(5):
+            cache.access(7)
+        assert cache.frequency(7) == 5
+        assert cache.frequency(8) == 0
+
+    def test_lru_tie_break(self):
+        cache = LFUCache(2)
+        cache.access(1)
+        cache.access(2)  # both freq 1; 1 is older
+        cache.access(3)  # evicts 1
+        assert 1 not in cache and 2 in cache
+
+
+class TestLFUAging:
+    def test_aging_halves_counters(self):
+        cache = LFUAgingCache(4, aging_interval=10)
+        for _ in range(9):
+            cache.access(1)  # freq 9, 9 accesses so far
+        cache.access(2)  # 10th access triggers aging
+        assert cache.frequency(1) == 4  # floor(9 / 2)
+        assert cache.frequency(2) == 1  # max(1, 1 // 2)
+
+    def test_recovers_from_stale_head(self):
+        """After popularity drift, aging lets new keys displace old
+        heavy hitters much sooner than pure LFU."""
+        plain = LFUCache(4)
+        aging = LFUAgingCache(4, aging_interval=50)
+        for cache in (plain, aging):
+            for _ in range(100):
+                for key in range(4):
+                    cache.access(key)  # old regime: keys 0-3 very hot
+            for _ in range(60):
+                for key in range(10, 14):
+                    cache.access(key)  # new regime
+        assert sum(key in aging for key in range(10, 14)) >= sum(
+            key in plain for key in range(10, 14)
+        )
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(CacheError):
+            LFUAgingCache(4, aging_interval=0)
+
+
+class TestTwoQ:
+    def test_one_shot_scan_cannot_enter_protected(self):
+        cache = TwoQCache(8)
+        for key in range(100, 200):
+            cache.access(key)
+        assert cache.protected_size == 0  # scans stay in probation
+
+    def test_rereference_after_ghost_promotes(self):
+        cache = TwoQCache(8)
+        cache.access(1)
+        for key in range(100, 110):
+            cache.access(key)  # pushes 1 through A1in into the ghost list
+        assert 1 not in cache
+        cache.access(1)  # ghost hit -> protected
+        assert 1 in cache
+        assert cache.protected_size >= 1
+
+    def test_ghost_list_bounded(self):
+        cache = TwoQCache(8)
+        for key in range(1000):
+            cache.access(key)
+        assert cache.ghost_size <= max(1, int(8 * 0.5))
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(CacheError):
+            TwoQCache(8, kin_fraction=0.0)
+        with pytest.raises(CacheError):
+            TwoQCache(8, kout_fraction=0.0)
+
+
+class TestARC:
+    def test_hit_promotes_to_frequency_list(self):
+        cache = ARCCache(4)
+        cache.access(1)
+        assert cache.recency_size == 1
+        cache.access(1)
+        assert cache.frequency_size == 1
+        assert cache.recency_size == 0
+
+    def test_adaptation_parameter_moves(self):
+        cache = ARCCache(4)
+        # Build B1 ghosts, then re-reference to push p upward.
+        for key in range(20):
+            cache.access(key)
+        p_before = cache.p
+        for key in range(16):  # many are B1 ghosts now
+            cache.access(key)
+        assert cache.p >= p_before
+
+    def test_scan_resistance_vs_lru(self):
+        """A looping hot set + one-shot scans: ARC retains hot keys
+        better than LRU."""
+        hot = list(range(8))
+        rng = np.random.default_rng(5)
+
+        def run(cache):
+            hits = 0
+            for round_ in range(300):
+                for key in hot:
+                    hits += cache.access(key)
+                cache.access(int(1000 + rng.integers(0, 5000)))  # scan noise
+            return hits
+
+        assert run(ARCCache(10)) >= run(LRUCache(10))
+
+
+class TestRandomEviction:
+    def test_reproducible_with_seed(self):
+        def run(seed):
+            cache = RandomEvictionCache(4, rng=seed)
+            trace = np.random.default_rng(0).integers(0, 30, size=500)
+            return [cache.access(int(k)) for k in trace]
+
+        assert run(9) == run(9)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name",
+        ["perfect", "fifo", "lru", "random", "clock", "lfu", "lfu-aging", "2q", "arc"],
+    )
+    def test_make_cache(self, name):
+        assert make_cache(name, 4).capacity == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_cache("bogus", 4)

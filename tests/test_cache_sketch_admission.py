@@ -1,0 +1,137 @@
+"""Tests for the count-min sketch and the TinyLFU admission filter."""
+
+import numpy as np
+import pytest
+
+from repro.cache.admission import FrequencyAdmissionCache
+from repro.cache.lru import LRUCache
+from repro.cache.perfect import PerfectCache
+from repro.cache.sketch import CountMinSketch
+from repro.exceptions import CacheError
+
+
+class TestCountMinSketch:
+    def test_never_underestimates(self):
+        sketch = CountMinSketch(width=256, depth=4)
+        rng = np.random.default_rng(1)
+        truth = {}
+        for key in rng.integers(0, 500, size=3000).tolist():
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_reasonable_overestimation(self):
+        sketch = CountMinSketch(width=2048, depth=4)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(0, 200, size=5000).tolist()
+        truth = {}
+        for key in keys:
+            sketch.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        errors = [sketch.estimate(k) - c for k, c in truth.items()]
+        assert np.mean(errors) < 5.0  # conservative update keeps bias low
+
+    def test_add_count(self):
+        sketch = CountMinSketch()
+        sketch.add(7, count=5)
+        assert sketch.estimate(7) >= 5
+        assert sketch.total == 5
+
+    def test_add_zero_is_noop(self):
+        sketch = CountMinSketch()
+        sketch.add(7, count=0)
+        assert sketch.total == 0
+
+    def test_halve(self):
+        sketch = CountMinSketch()
+        sketch.add(3, count=8)
+        sketch.halve()
+        assert sketch.estimate(3) == 4
+        assert sketch.total == 4
+
+    def test_distinguishes_hot_from_cold(self):
+        sketch = CountMinSketch(width=1024, depth=4)
+        for _ in range(100):
+            sketch.add(1)
+        sketch.add(2)
+        assert sketch.estimate(1) > sketch.estimate(2)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CacheError):
+            CountMinSketch(width=0)
+        with pytest.raises(CacheError):
+            CountMinSketch(depth=0)
+        with pytest.raises(CacheError):
+            CountMinSketch(depth=99)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(CacheError):
+            CountMinSketch().add(1, count=-1)
+
+
+class TestFrequencyAdmission:
+    def test_rejects_non_evicting_inner(self):
+        with pytest.raises(CacheError):
+            FrequencyAdmissionCache(PerfectCache(4))
+
+    def test_scan_cannot_displace_hot_keys(self):
+        """The headline property: once a hot set is resident with high
+        sketch frequency, a one-shot scan flood is rejected at
+        admission instead of churning the cache."""
+        cache = FrequencyAdmissionCache(LRUCache(8), sample_size=100_000)
+        hot = list(range(8))
+        for _ in range(50):
+            for key in hot:
+                cache.access(key)
+        for key in range(1000, 1400):
+            cache.access(key)  # scan flood, each key seen once
+        assert all(key in cache for key in hot)
+        assert cache.rejected > 300
+
+    def test_admits_genuinely_popular_newcomer(self):
+        cache = FrequencyAdmissionCache(LRUCache(4), sample_size=100_000)
+        for _ in range(20):
+            for key in range(4):
+                cache.access(key)
+        # A newcomer seen many times eventually out-frequencies a victim.
+        for _ in range(200):
+            cache.access(99)
+        assert 99 in cache
+
+    def test_fills_empty_capacity_without_filtering(self):
+        cache = FrequencyAdmissionCache(LRUCache(4))
+        for key in range(4):
+            cache.access(key)
+        assert len(cache) == 4
+        assert cache.rejected == 0
+
+    def test_sketch_ages_at_sample_size(self):
+        cache = FrequencyAdmissionCache(LRUCache(4), sample_size=50)
+        for _ in range(60):
+            cache.access(1)
+        assert cache.sketch.total < 60  # halved at least once
+
+    def test_hit_rate_beats_plain_lru_under_attack_workload(self):
+        """Zipf-with-scan mixture: admission filtering should not lose
+        to plain LRU (and typically wins clearly)."""
+        rng = np.random.default_rng(3)
+        # 80% traffic to 10 hot keys, 20% one-shot scan keys.
+        trace = []
+        scan_key = 10_000
+        for _ in range(6000):
+            if rng.random() < 0.8:
+                trace.append(int(rng.integers(0, 10)))
+            else:
+                scan_key += 1
+                trace.append(scan_key)
+        plain = LRUCache(12)
+        filtered = FrequencyAdmissionCache(LRUCache(12))
+        for key in trace:
+            plain.access(key)
+            filtered.access(key)
+        assert filtered.stats.hit_rate >= plain.stats.hit_rate
+
+    def test_rejects_bad_sample_size(self):
+        with pytest.raises(CacheError):
+            FrequencyAdmissionCache(LRUCache(4), sample_size=0)

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure_flags(self):
+        args = build_parser().parse_args(["fig3a", "--trials", "5", "--seed", "1"])
+        assert args.command == "fig3a"
+        assert args.trials == 5
+        assert args.seed == 1
+
+    def test_provision_flags(self):
+        args = build_parser().parse_args(
+            ["provision", "-n", "100", "-m", "5000", "-d", "3", "-c", "50"]
+        )
+        assert args.nodes == 100
+        assert args.cache == 50
+
+
+class TestCommands:
+    def test_provision_output(self, capsys):
+        code = main(
+            ["provision", "-n", "1000", "-m", "100000", "-d", "3", "-c", "200", "--k", "1.2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "c* = 1201" in out
+        assert "VULNERABLE" in out
+
+    def test_provision_protected(self, capsys):
+        main(["provision", "-n", "1000", "-m", "100000", "-d", "3", "-c", "5000", "--k", "1.2"])
+        assert "PROTECTED" in capsys.readouterr().out
+
+    def test_plan_output(self, capsys):
+        code = main(["plan", "-n", "1000", "-m", "100000", "-d", "3", "-c", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replicated" in out
+        assert "SoCC'11" in out
+
+    def test_calibrate_output(self, capsys):
+        code = main(
+            ["calibrate", "--nodes", "100", "--replication", "3",
+             "--balls", "2000", "--trials", "5", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "measured k'" in out
+        assert "folded k" in out
+
+    def test_figure_quick_run(self, capsys):
+        code = main(["fig5b", "--trials", "2", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "fig5b" in out
+        assert "x_queried" in out

@@ -1,0 +1,85 @@
+"""Tests for repro.cluster.cluster (the facade)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.partitioner import HashPartitioner
+from repro.cluster.selection import RoundRobinSpreading
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_default_partitioner_needs_m(self):
+        with pytest.raises(ConfigurationError):
+            Cluster(n=10, d=2)
+
+    def test_default_build(self):
+        cluster = Cluster(n=10, d=2, m=100, seed=1)
+        assert cluster.n == 10
+        assert cluster.d == 2
+        assert len(cluster.nodes) == 10
+        assert cluster.selection.name == "least-loaded"
+
+    def test_custom_partitioner(self):
+        part = HashPartitioner(8, 3, secret=b"s")
+        cluster = Cluster(n=8, d=3, partitioner=part)
+        assert cluster.partitioner is part
+
+    def test_mismatched_partitioner_rejected(self):
+        part = HashPartitioner(8, 3, secret=b"s")
+        with pytest.raises(ConfigurationError):
+            Cluster(n=9, d=3, partitioner=part)
+        with pytest.raises(ConfigurationError):
+            Cluster(n=8, d=2, partitioner=part)
+
+    def test_custom_selection(self):
+        cluster = Cluster(n=5, d=2, m=50, selection=RoundRobinSpreading())
+        assert cluster.selection.name == "round-robin"
+
+
+class TestApplyRates:
+    def test_mapping_input(self):
+        cluster = Cluster(n=10, d=2, m=100, seed=3)
+        loads = cluster.apply_rates({1: 5.0, 2: 7.0}, total_rate=20.0)
+        assert loads.backend_rate == pytest.approx(12.0)
+        assert loads.total_rate == 20.0
+        assert loads.n_nodes == 10
+
+    def test_array_input(self):
+        cluster = Cluster(n=10, d=2, m=100, seed=3)
+        keys = np.array([0, 5, 9])
+        rates = np.array([1.0, 2.0, 3.0])
+        loads = cluster.apply_rates((keys, rates))
+        assert loads.backend_rate == pytest.approx(6.0)
+        assert loads.total_rate == pytest.approx(6.0)  # defaults to sum
+
+    def test_mismatched_lengths_rejected(self):
+        cluster = Cluster(n=10, d=2, m=100, seed=3)
+        with pytest.raises(ConfigurationError):
+            cluster.apply_rates((np.array([1, 2]), np.array([1.0])))
+
+    def test_load_lands_on_replica_group(self):
+        cluster = Cluster(n=10, d=3, m=100, seed=3)
+        loads = cluster.apply_rates({42: 9.0})
+        group = set(cluster.replica_group(42).tolist())
+        hot = set(np.nonzero(loads.loads)[0].tolist())
+        assert hot <= group
+        assert loads.max_load == pytest.approx(9.0)
+
+    def test_accounts_reflect_last_run(self):
+        cluster = Cluster(n=4, d=2, m=10, seed=3)
+        loads = cluster.apply_rates({0: 4.0})
+        accounts = cluster.accounts()
+        assert sum(a.query_rate for a in accounts) == pytest.approx(4.0)
+        assert max(a.query_rate for a in accounts) == pytest.approx(loads.max_load)
+
+    def test_saturated_nodes_with_capacity(self):
+        cluster = Cluster(n=4, d=1, m=10, node_capacity=5.0, seed=3)
+        cluster.apply_rates({0: 10.0})
+        assert len(cluster.saturated_nodes()) == 1
+
+    def test_reproducible_given_seed(self):
+        a = Cluster(n=10, d=3, m=100, seed=11).apply_rates({7: 3.0})
+        b = Cluster(n=10, d=3, m=100, seed=11).apply_rates({7: 3.0})
+        assert (a.loads == b.loads).all()

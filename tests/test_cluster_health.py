@@ -1,0 +1,52 @@
+"""Tests for repro.cluster.health."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.health import assess_health
+from repro.exceptions import AnalysisError
+from repro.types import LoadVector
+
+
+def _vector(loads, rate=None):
+    arr = np.asarray(loads, dtype=float)
+    return LoadVector(loads=arr, total_rate=float(arr.sum()) if rate is None else rate)
+
+
+class TestAssessHealth:
+    def test_healthy_without_capacity(self):
+        health = assess_health(_vector([1.0, 2.0, 3.0]))
+        assert health.healthy
+        assert health.saturated == ()
+        assert health.headroom is None
+        assert health.max_load == 3.0
+        assert health.imbalance == pytest.approx(1.5)
+
+    def test_saturation_detection(self):
+        health = assess_health(_vector([1.0, 5.0, 9.0]), node_capacity=6.0)
+        assert not health.healthy
+        assert health.saturated == (2,)
+        assert health.headroom == pytest.approx(-3.0)
+
+    def test_boundary_not_saturated(self):
+        health = assess_health(_vector([6.0, 1.0]), node_capacity=6.0)
+        assert health.healthy
+
+    def test_normalized_max_consistent(self):
+        vector = _vector([10.0, 30.0], rate=40.0)
+        health = assess_health(vector)
+        assert health.normalized_max == pytest.approx(vector.normalized_max)
+
+    def test_zero_load_cluster(self):
+        health = assess_health(_vector([0.0, 0.0]), node_capacity=1.0)
+        assert health.healthy
+        assert health.imbalance == 0.0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(AnalysisError):
+            assess_health(_vector([1.0]), node_capacity=0.0)
+
+    def test_describe_mentions_state(self):
+        assert "healthy" in assess_health(_vector([1.0, 1.0])).describe()
+        text = assess_health(_vector([9.0, 1.0]), node_capacity=5.0).describe()
+        assert "SATURATED" in text

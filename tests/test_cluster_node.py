@@ -1,0 +1,74 @@
+"""Tests for repro.cluster.node."""
+
+import pytest
+
+from repro.cluster.node import BackendNode, NodeLoad
+from repro.exceptions import ConfigurationError
+
+
+class TestBackendNode:
+    def test_uncapped_node(self):
+        node = BackendNode(0)
+        assert node.capacity is None
+        assert node.utilization(100.0) is None
+        assert not node.saturated_by(1e9)
+
+    def test_capped_node(self):
+        node = BackendNode(1, capacity=50.0)
+        assert node.utilization(25.0) == pytest.approx(0.5)
+        assert not node.saturated_by(50.0)
+        assert node.saturated_by(50.1)
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ConfigurationError):
+            BackendNode(-1)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            BackendNode(0, capacity=0.0)
+
+
+class TestNodeLoad:
+    def test_assign_key_accumulates(self):
+        account = NodeLoad(BackendNode(0))
+        account.assign_key(10.0)
+        account.assign_key(5.0)
+        assert account.keys_assigned == 2
+        assert account.query_rate == pytest.approx(15.0)
+
+    def test_add_rate_does_not_count_keys(self):
+        account = NodeLoad(BackendNode(0))
+        account.add_rate(7.0)
+        assert account.keys_assigned == 0
+        assert account.query_rate == pytest.approx(7.0)
+
+    def test_saturation_tracks_capacity(self):
+        account = NodeLoad(BackendNode(0, capacity=10.0))
+        account.add_rate(9.0)
+        assert not account.saturated
+        account.add_rate(2.0)
+        assert account.saturated
+
+    def test_serve_and_drop_counters(self):
+        account = NodeLoad(BackendNode(0))
+        account.serve()
+        account.serve()
+        account.drop()
+        assert account.queries_served == 2
+        assert account.queries_dropped == 1
+
+    def test_reset(self):
+        account = NodeLoad(BackendNode(0))
+        account.assign_key(3.0)
+        account.serve()
+        account.reset()
+        assert account.keys_assigned == 0
+        assert account.query_rate == 0.0
+        assert account.queries_served == 0
+
+    def test_rejects_negative_rate(self):
+        account = NodeLoad(BackendNode(0))
+        with pytest.raises(ConfigurationError):
+            account.assign_key(-1.0)
+        with pytest.raises(ConfigurationError):
+            account.add_rate(-1.0)

@@ -1,0 +1,87 @@
+"""Tests for repro.cluster.rebalance (migration cost of topology change)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.partitioner import (
+    ConsistentHashPartitioner,
+    RandomTablePartitioner,
+)
+from repro.cluster.rebalance import grow_ring, migration_plan
+from repro.exceptions import ConfigurationError
+
+KEYS = np.arange(3000)
+
+
+class TestMigrationPlan:
+    def test_identical_partitioners_move_nothing(self):
+        part = RandomTablePartitioner(10, 3, m=3000, seed=1)
+        plan = migration_plan(part, part, KEYS)
+        assert plan.keys_affected == 0
+        assert plan.replicas_moved == 0
+        assert plan.moved_fraction == 0.0
+
+    def test_resampled_table_moves_almost_everything(self):
+        before = RandomTablePartitioner(10, 3, m=3000, seed=1)
+        after = RandomTablePartitioner(10, 3, m=3000, seed=2)
+        plan = migration_plan(before, after, KEYS)
+        # Independent redraws: each key keeps a given replica only by
+        # chance; the moved fraction is large.
+        assert plan.moved_fraction > 0.5
+        assert plan.affected_fraction > 0.9
+
+    def test_mixed_replication_rejected(self):
+        a = RandomTablePartitioner(10, 2, m=100, seed=1)
+        b = RandomTablePartitioner(10, 3, m=100, seed=1)
+        with pytest.raises(ConfigurationError):
+            migration_plan(a, b, np.arange(100))
+
+    def test_describe(self):
+        part = RandomTablePartitioner(5, 2, m=100, seed=1)
+        text = migration_plan(part, part, np.arange(100)).describe()
+        assert "0/100 keys affected" in text
+
+    def test_fraction_accounting(self):
+        before = RandomTablePartitioner(10, 3, m=3000, seed=1)
+        after = RandomTablePartitioner(10, 3, m=3000, seed=2)
+        plan = migration_plan(before, after, KEYS)
+        assert plan.replicas_moved <= plan.total_keys * plan.replication
+        assert plan.keys_affected <= plan.total_keys
+
+
+class TestConsistentHashingGrowth:
+    def test_grow_ring_moves_little(self):
+        """The consistent-hashing guarantee: adding one node to n moves
+        ~1/(n+1) of the placements, not ~all of them."""
+        ring = ConsistentHashPartitioner(20, 3, vnodes=64, secret=b"growth")
+        grown = grow_ring(ring, 21)
+        plan = migration_plan(ring, grown, KEYS)
+        assert plan.moved_fraction < 0.15  # ideal ~ 1/21 ~ 0.05, vnode noise
+        # Contrast: a re-seeded random table at the new size moves ~everything.
+        table_before = RandomTablePartitioner(20, 3, m=3000, seed=1)
+        table_after = RandomTablePartitioner(21, 3, m=3000, seed=2)
+        table_plan = migration_plan(table_before, table_after, KEYS)
+        assert plan.moved_fraction < table_plan.moved_fraction / 4
+
+    def test_growth_scales_with_added_nodes(self):
+        ring = ConsistentHashPartitioner(20, 2, vnodes=64, secret=b"growth")
+        small_growth = migration_plan(ring, grow_ring(ring, 21), KEYS)
+        big_growth = migration_plan(ring, grow_ring(ring, 40), KEYS)
+        assert big_growth.moved_fraction > small_growth.moved_fraction
+
+    def test_grown_ring_is_valid_partitioner(self):
+        ring = ConsistentHashPartitioner(5, 2, vnodes=16, secret=b"g")
+        grown = grow_ring(ring, 8)
+        assert grown.n == 8
+        assert grown.d == 2
+        groups = grown.replica_groups(np.arange(100))
+        assert groups.max() < 8
+        # New nodes actually receive load.
+        assert set(np.unique(groups)) == set(range(8))
+
+    def test_grow_ring_validates(self):
+        ring = ConsistentHashPartitioner(5, 2, vnodes=16)
+        with pytest.raises(ConfigurationError):
+            grow_ring(ring, 5)
+        with pytest.raises(ConfigurationError):
+            grow_ring(ring, 4)

@@ -1,0 +1,87 @@
+"""Tests for repro.core.attack_gain (Definitions 1 and 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attack_gain import (
+    EFFECTIVENESS_THRESHOLD,
+    attack_gain,
+    classify_attack,
+    is_effective,
+)
+from repro.exceptions import AnalysisError
+from repro.types import LoadReport, LoadVector
+
+
+class TestAttackGain:
+    def test_even_split_gives_gain_one(self):
+        assert attack_gain(max_load=10.0, rate=100.0, n=10) == pytest.approx(1.0)
+
+    def test_hotspot_gain(self):
+        # All 100 qps on one of 10 nodes: gain 10.
+        assert attack_gain(100.0, 100.0, 10) == pytest.approx(10.0)
+
+    def test_zero_rate_is_zero_gain(self):
+        assert attack_gain(0.0, 0.0, 5) == 0.0
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(AnalysisError):
+            attack_gain(1.0, 1.0, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(AnalysisError):
+            attack_gain(-1.0, 1.0, 5)
+
+
+class TestEffectiveness:
+    def test_threshold_is_one(self):
+        assert EFFECTIVENESS_THRESHOLD == 1.0
+
+    def test_above_threshold_effective(self):
+        assert is_effective(1.001)
+
+    def test_at_threshold_not_effective(self):
+        # Definition 2: "greater than 1.0"; equal is ineffective.
+        assert not is_effective(1.0)
+
+    def test_below_threshold_not_effective(self):
+        assert not is_effective(0.5)
+
+
+class TestClassifyAttack:
+    def test_from_load_vector(self):
+        vector = LoadVector(loads=np.array([10.0, 30.0, 20.0]), total_rate=60.0)
+        verdict = classify_attack(vector)
+        assert verdict.gain == pytest.approx(30.0 / 20.0)
+        assert verdict.effective
+        assert verdict.trials is None
+
+    def test_from_load_report_uses_worst_case(self):
+        report = LoadReport(
+            normalized_max_per_trial=np.array([0.9, 1.4, 1.1]),
+            total_rate=100.0,
+            n_nodes=10,
+        )
+        verdict = classify_attack(report)
+        assert verdict.gain == pytest.approx(1.4)
+        assert verdict.mean_gain == pytest.approx(np.mean([0.9, 1.4, 1.1]))
+        assert verdict.trials == 3
+        assert verdict.effective
+
+    def test_saturation_check(self):
+        vector = LoadVector(loads=np.array([10.0, 50.0]), total_rate=60.0)
+        assert classify_attack(vector, node_capacity=40.0).saturates
+        assert not classify_attack(vector, node_capacity=60.0).saturates
+
+    def test_no_capacity_means_unknown_saturation(self):
+        vector = LoadVector(loads=np.array([10.0, 50.0]), total_rate=60.0)
+        assert classify_attack(vector).saturates is None
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(AnalysisError):
+            classify_attack([1, 2, 3])
+
+    def test_describe_mentions_verdict(self):
+        vector = LoadVector(loads=np.array([1.0, 1.0]), total_rate=2.0)
+        text = classify_attack(vector).describe()
+        assert "ineffective" in text

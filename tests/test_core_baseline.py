@@ -1,0 +1,114 @@
+"""Tests for repro.core.baseline_socc11 (the d = 1 baseline of [18])."""
+
+import math
+
+import pytest
+
+from repro.core import baseline_socc11 as baseline
+from repro.core.notation import SystemParameters
+from repro.exceptions import ConfigurationError
+
+
+class TestOneChoiceKeyBound:
+    def test_zero_balls(self):
+        assert baseline.one_choice_key_bound(0, 100) == 0.0
+
+    def test_single_bin(self):
+        assert baseline.one_choice_key_bound(50, 1) == 50.0
+
+    def test_average_plus_sqrt_term(self):
+        bound = baseline.one_choice_key_bound(10_000, 100)
+        expected = 100.0 + math.sqrt(2 * 10_000 * math.log(100) / 100)
+        assert bound == pytest.approx(expected)
+
+    def test_polynomially_worse_than_d_choice(self):
+        # The whole point of replication: the one-choice excess grows
+        # with the ball count, the d-choice excess does not.
+        from repro.core.bounds import balls_in_bins_key_bound
+
+        for balls in (10_000, 100_000):
+            one = baseline.one_choice_key_bound(balls, 1000) - balls / 1000
+            multi = balls_in_bins_key_bound(balls, 1000, 3) - balls / 1000
+            assert one > multi
+        small_excess = baseline.one_choice_key_bound(10_000, 1000) - 10.0
+        large_excess = baseline.one_choice_key_bound(100_000, 1000) - 100.0
+        assert large_excess > 2 * small_excess  # grows ~sqrt(balls)
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ConfigurationError):
+            baseline.one_choice_key_bound(-1, 10)
+        with pytest.raises(ConfigurationError):
+            baseline.one_choice_key_bound(10, 0)
+
+
+class TestBaselineBounds:
+    def test_gain_formula(self, paper_params):
+        x = 5000
+        gain = baseline.normalized_max_load_bound(paper_params, x)
+        keys = baseline.one_choice_key_bound(x - 200, 1000)
+        expected = keys * (1e5 / (x - 1)) / 100.0
+        assert gain == pytest.approx(expected)
+
+    def test_fully_cached_is_zero(self, paper_params):
+        assert baseline.expected_max_load_bound(paper_params, 200) == 0.0
+
+    def test_rejects_bad_x(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            baseline.expected_max_load_bound(paper_params, 0)
+
+
+class TestOptimalQueryCount:
+    def test_interior_optimum(self, paper_params):
+        """The defining contrast with the replicated case: x* is strictly
+        between the endpoints."""
+        x_star = baseline.optimal_query_count(paper_params)
+        assert paper_params.c + 1 < x_star < paper_params.m
+
+    def test_is_a_local_maximum(self, paper_params):
+        x_star = baseline.optimal_query_count(paper_params)
+        g = lambda x: baseline.normalized_max_load_bound(paper_params, x)
+        assert g(x_star) >= g(x_star - 1) - 1e-9
+        assert g(x_star) >= g(x_star + 1) - 1e-9
+
+    def test_beats_coarse_grid(self, paper_params):
+        g = lambda x: baseline.normalized_max_load_bound(paper_params, x)
+        best = g(baseline.optimal_query_count(paper_params))
+        for x in (201, 500, 1000, 5000, 20_000, 100_000):
+            assert best >= g(x) - 1e-9
+
+    def test_grows_with_cache_size(self):
+        small = baseline.optimal_query_count(
+            SystemParameters(n=1000, m=100_000, c=100, d=1)
+        )
+        large = baseline.optimal_query_count(
+            SystemParameters(n=1000, m=100_000, c=2000, d=1)
+        )
+        assert large > small
+
+
+class TestBaselinePlan:
+    def test_always_effective_at_realistic_scale(self):
+        """Fan et al.'s conclusion: no cache size prevents an effective
+        attack without replication (it only bounds the damage)."""
+        for c in (100, 1000, 5000, 20_000):
+            params = SystemParameters(n=1000, m=100_000, c=c, d=1, rate=1e5)
+            plan = baseline.plan_best_attack(params)
+            assert plan.effective, f"baseline attack should be effective at c={c}"
+
+    def test_replication_paper_contrast(self):
+        """The same (n, c) that is provably protected with d = 3 is still
+        attackable under the d = 1 analysis."""
+        from repro.core.cases import plan_best_attack as replicated_plan
+
+        params = SystemParameters(n=1000, m=100_000, c=2000, d=3, rate=1e5)
+        assert not replicated_plan(params, k=1.2).effective
+        assert baseline.plan_best_attack(params).effective
+
+    def test_describe(self, paper_params):
+        assert "SoCC'11" in baseline.plan_best_attack(paper_params).describe()
+
+    def test_fully_cached_gain_zero(self):
+        params = SystemParameters(n=10, m=30, c=30, d=1)
+        plan = baseline.plan_best_attack(params)
+        assert plan.gain_bound == 0.0
+        assert not plan.effective

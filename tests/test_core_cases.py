@@ -1,0 +1,112 @@
+"""Tests for repro.core.cases (Case 1 / Case 2 analysis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import normalized_max_load_bound
+from repro.core.cases import (
+    critical_cache_size,
+    optimal_query_count,
+    plan_best_attack,
+    which_case,
+)
+from repro.core.notation import SystemParameters
+from repro.exceptions import ConfigurationError
+
+
+class TestCriticalCacheSize:
+    def test_paper_value(self):
+        # n k + 1 with the paper's folded k = 1.2 and n = 1000.
+        assert critical_cache_size(1000, 3, k=1.2) == 1201
+
+    def test_scales_linearly_in_n(self):
+        assert critical_cache_size(2000, 3, k=1.2) == 2401
+
+    def test_uses_theory_k_when_not_given(self):
+        import math
+
+        expected = math.ceil(1000 * (math.log(math.log(1000)) / math.log(3)) + 1)
+        assert critical_cache_size(1000, 3) == expected
+
+    def test_independent_of_m(self):
+        # The headline scalability claim: c* does not involve m at all.
+        assert critical_cache_size(500, 3, k=1.0) == 501
+
+    def test_rejects_negative_k(self):
+        with pytest.raises(ConfigurationError):
+            critical_cache_size(1000, 3, k=-0.1)
+
+
+class TestWhichCase:
+    def test_small_cache_is_case_one(self, paper_params):
+        assert which_case(paper_params, k=1.2) == 1
+
+    def test_large_cache_is_case_two(self):
+        params = SystemParameters(n=1000, m=100_000, c=2000, d=3, rate=1e5)
+        assert which_case(params, k=1.2) == 2
+
+    def test_boundary(self):
+        at = SystemParameters(n=1000, m=100_000, c=1201, d=3)
+        below = SystemParameters(n=1000, m=100_000, c=1200, d=3)
+        assert which_case(at, k=1.2) == 2
+        assert which_case(below, k=1.2) == 1
+
+
+class TestOptimalQueryCount:
+    def test_case_one_queries_cache_plus_one(self, paper_params):
+        assert optimal_query_count(paper_params, k=1.2) == 201
+
+    def test_case_two_queries_everything(self):
+        params = SystemParameters(n=1000, m=100_000, c=2000, d=3)
+        assert optimal_query_count(params, k=1.2) == 100_000
+
+    def test_degenerate_cache_covers_key_space(self):
+        params = SystemParameters(n=10, m=50, c=50, d=2)
+        # Whole key space cached; x is clamped to m.
+        assert optimal_query_count(params, k=0.0) == 50
+
+    @given(
+        c=st.integers(min_value=0, max_value=4000),
+        k=st.floats(min_value=0.0, max_value=3.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_optimal_x_maximises_the_bound(self, c, k):
+        """Property: among all feasible x, the chosen endpoint achieves
+        the maximum of Eq. (10) (the case analysis is correct)."""
+        params = SystemParameters(n=1000, m=20_000, c=c, d=3, rate=1e5)
+        x_star = optimal_query_count(params, k=k)
+        if x_star <= params.c or x_star < 2:
+            return
+        best = normalized_max_load_bound(params, x_star, k=k)
+        for x in (c + 1, c + 2, (c + params.m) // 2 + 1, params.m):
+            if x < 2 or x <= c or x > params.m:
+                continue
+            assert best >= normalized_max_load_bound(params, x, k=k) - 1e-9
+
+
+class TestPlanBestAttack:
+    def test_case_one_plan_is_effective(self, paper_params):
+        plan = plan_best_attack(paper_params, k=1.2)
+        assert plan.case == 1
+        assert plan.x == 201
+        assert plan.effective
+        assert plan.gain_bound > 1.0
+        assert plan.critical_cache == 1201
+
+    def test_case_two_plan_is_prevented(self):
+        params = SystemParameters(n=1000, m=100_000, c=2000, d=3)
+        plan = plan_best_attack(params, k=1.2)
+        assert plan.case == 2
+        assert plan.x == params.m
+        assert not plan.effective
+        assert plan.gain_bound <= 1.0
+
+    def test_fully_cached_system_has_zero_gain(self):
+        params = SystemParameters(n=10, m=50, c=50, d=2)
+        plan = plan_best_attack(params, k=0.5)
+        assert plan.gain_bound == 0.0
+        assert not plan.effective
+
+    def test_describe_mentions_case(self, paper_params):
+        assert "Case 1" in plan_best_attack(paper_params, k=1.2).describe()

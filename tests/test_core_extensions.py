@@ -1,0 +1,198 @@
+"""Tests for the core extensions: tradeoff planning, heterogeneous
+capacities and the capacity-aware selection policy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.selection import LeastLoadedKeyPinning, LeastUtilizedKeyPinning
+from repro.core.heterogeneous import audit_capacities, utilization_equalizing_bound
+from repro.core.notation import SystemParameters
+from repro.core.tradeoff import DefensePlan, ResourceCosts, plan_defense
+from repro.exceptions import ConfigurationError
+
+
+class TestPlanDefense:
+    def test_frontier_monotone_in_d(self):
+        plan = plan_defense(n=1000, m=100_000)
+        caches = [option.required_cache for option in plan.options]
+        assert caches == sorted(caches, reverse=True)  # 1/log d shrinks c*
+
+    def test_cheap_replication_pushes_d_up(self):
+        cheap = plan_defense(
+            n=1000, m=10_000, costs=ResourceCosts(cache_entry=1.0, replica_item=1e-6)
+        )
+        expensive = plan_defense(
+            n=1000, m=10_000, costs=ResourceCosts(cache_entry=1.0, replica_item=1.0)
+        )
+        assert cheap.best.d >= expensive.best.d
+
+    def test_best_is_cheapest(self):
+        plan = plan_defense(n=500, m=50_000)
+        assert plan.best.total_cost == min(o.total_cost for o in plan.options)
+
+    def test_max_cache_constraint(self):
+        unconstrained = plan_defense(n=1000, m=100_000, k_prime=1.0)
+        biggest_needed = max(o.required_cache for o in unconstrained.options)
+        smallest_needed = min(o.required_cache for o in unconstrained.options)
+        constrained = plan_defense(
+            n=1000, m=100_000, k_prime=1.0, max_cache=smallest_needed
+        )
+        assert all(o.required_cache <= smallest_needed for o in constrained.options)
+        assert len(constrained.options) < len(unconstrained.options)
+        assert biggest_needed > smallest_needed
+
+    def test_cache_never_exceeds_key_space(self):
+        plan = plan_defense(n=1000, m=500)  # tiny key space
+        assert all(o.required_cache <= 500 for o in plan.options)
+
+    def test_d_above_n_skipped(self):
+        plan = plan_defense(n=4, m=100, d_candidates=(2, 3, 4, 5, 6))
+        assert all(o.d <= 4 for o in plan.options)
+
+    def test_impossible_constraints_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_defense(n=1000, m=100_000, max_cache=1)
+
+    def test_d_one_candidate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_defense(n=100, m=1000, d_candidates=(1, 2))
+
+    def test_describe_marks_best(self):
+        plan = plan_defense(n=100, m=1000)
+        assert "<== cheapest" in plan.describe()
+
+
+class TestAuditCapacities:
+    def _params(self):
+        return SystemParameters(n=8, m=1000, c=20, d=3, rate=800.0)
+
+    def test_uniform_strong_nodes_safe(self):
+        params = self._params()
+        audit = audit_capacities(params, np.full(8, 1e4), k_prime=0.75)
+        assert audit.safe
+        assert audit.at_risk == ()
+        assert "SAFE" in audit.describe()
+
+    def test_single_weak_node_flags_cluster(self):
+        params = self._params()
+        capacities = np.full(8, 1e4)
+        capacities[5] = 1.0
+        audit = audit_capacities(params, capacities, k_prime=0.75)
+        assert not audit.safe
+        assert audit.at_risk == (5,)
+        assert audit.weakest_margin < 0
+        assert "AT RISK" in audit.describe()
+
+    def test_bound_matches_core(self):
+        from repro.core.bounds import expected_max_load_bound
+        from repro.core.cases import plan_best_attack
+
+        params = self._params()
+        audit = audit_capacities(params, np.full(8, 1e4), k_prime=0.75)
+        plan = plan_best_attack(params, k_prime=0.75)
+        assert audit.plan_x == plan.x
+        assert audit.worst_load_bound == pytest.approx(
+            expected_max_load_bound(params, plan.x, k_prime=0.75)
+        )
+
+    def test_fully_cached_system_trivially_safe(self):
+        params = SystemParameters(n=4, m=10, c=10, d=2, rate=100.0)
+        audit = audit_capacities(params, np.full(4, 0.001), k_prime=0.5)
+        assert audit.safe
+        assert audit.worst_load_bound == 0.0
+
+    def test_capacity_vector_validated(self):
+        params = self._params()
+        with pytest.raises(ConfigurationError):
+            audit_capacities(params, np.full(7, 10.0))
+        with pytest.raises(ConfigurationError):
+            audit_capacities(params, np.full(8, 0.0))
+
+
+class TestUtilizationEqualizingBound:
+    def test_uniform_capacities_recover_eq8(self):
+        from repro.core.bounds import expected_max_load_bound
+        from repro.core.cases import plan_best_attack
+
+        params = SystemParameters(n=10, m=1000, c=20, d=3, rate=1000.0)
+        bounds = utilization_equalizing_bound(params, np.full(10, 50.0), k_prime=0.75)
+        plan = plan_best_attack(params, k_prime=0.75)
+        expected = expected_max_load_bound(params, plan.x, k_prime=0.75)
+        assert np.allclose(bounds, expected)
+
+    def test_shares_scale_with_capacity(self):
+        params = SystemParameters(n=4, m=1000, c=20, d=3, rate=1000.0)
+        capacities = np.array([10.0, 10.0, 10.0, 70.0])
+        bounds = utilization_equalizing_bound(params, capacities, k_prime=0.75)
+        # The big node's bound is larger (it takes a bigger share) but
+        # not 7x — the additive slack is shared equally.
+        assert bounds[3] > bounds[0]
+        assert bounds[3] < 7 * bounds[0]
+
+    def test_small_nodes_safer_than_under_uniform_placement(self):
+        """The point of capacity-aware placement: the weak node's bound
+        drops below the uniform-placement bound."""
+        from repro.core.bounds import expected_max_load_bound
+        from repro.core.cases import plan_best_attack
+
+        params = SystemParameters(n=4, m=1000, c=20, d=3, rate=1000.0)
+        capacities = np.array([10.0, 100.0, 100.0, 100.0])
+        plan = plan_best_attack(params, k_prime=0.75)
+        uniform_bound = expected_max_load_bound(params, plan.x, k_prime=0.75)
+        hetero = utilization_equalizing_bound(params, capacities, k_prime=0.75)
+        assert hetero[0] < uniform_bound
+
+
+class TestLeastUtilizedSelection:
+    def test_uniform_capacities_match_least_loaded(self, rng):
+        n, keys = 10, 200
+        groups = np.stack([rng.choice(n, size=3, replace=False) for _ in range(keys)])
+        rates = rng.random(keys) + 0.1
+        ll = LeastLoadedKeyPinning().node_loads(groups, rates, n)
+        lu = LeastUtilizedKeyPinning(np.full(n, 7.0)).node_loads(groups, rates, n)
+        assert np.allclose(ll, lu)
+
+    def test_load_follows_capacity(self):
+        """On a 2-node cluster with every key replicated on both, the
+        10x-capacity node should absorb ~10x the load."""
+        keys = 2000
+        groups = np.tile(np.array([0, 1]), (keys, 1))
+        rates = np.ones(keys)
+        capacities = np.array([10.0, 1.0])
+        loads = LeastUtilizedKeyPinning(capacities).node_loads(groups, rates, 2)
+        assert loads[0] / loads[1] == pytest.approx(10.0, rel=0.05)
+
+    def test_conserves_rate(self, rng):
+        groups = np.stack([rng.choice(6, size=2, replace=False) for _ in range(100)])
+        rates = rng.random(100)
+        loads = LeastUtilizedKeyPinning(rng.random(6) + 0.5).node_loads(
+            groups, rates, 6
+        )
+        assert loads.sum() == pytest.approx(rates.sum())
+
+    def test_protects_weak_node(self, rng):
+        """The weak node ends up with proportionally less load than
+        under capacity-blind least-loaded placement."""
+        n, keys = 10, 3000
+        groups = np.stack([rng.choice(n, size=3, replace=False) for _ in range(keys)])
+        rates = np.ones(keys)
+        capacities = np.full(n, 100.0)
+        capacities[0] = 10.0
+        blind = LeastLoadedKeyPinning().node_loads(groups, rates, n)
+        aware = LeastUtilizedKeyPinning(capacities).node_loads(groups, rates, n)
+        assert aware[0] < blind[0] * 0.5
+
+    def test_factory_construction(self):
+        from repro.cluster.selection import make_selection_policy
+
+        policy = make_selection_policy("least-utilized", capacities=np.ones(4))
+        assert policy.name == "least-utilized"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LeastUtilizedKeyPinning(np.array([]))
+        with pytest.raises(ConfigurationError):
+            LeastUtilizedKeyPinning(np.array([1.0, 0.0]))
+        policy = LeastUtilizedKeyPinning(np.ones(3))
+        with pytest.raises(ConfigurationError):
+            policy.node_loads(np.array([[0, 1]]), np.array([1.0]), 5)

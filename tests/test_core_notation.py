@@ -1,0 +1,97 @@
+"""Tests for repro.core.notation (Table I parameter object)."""
+
+import pytest
+
+from repro.core.notation import SystemParameters
+from repro.exceptions import ConfigurationError
+
+
+class TestConstruction:
+    def test_paper_parameters_accepted(self):
+        params = SystemParameters(n=1000, m=100_000, c=200, d=3, rate=1e5)
+        assert params.n == 1000
+        assert params.uncached_items == 99_800
+
+    def test_even_split(self):
+        params = SystemParameters(n=10, m=100, c=5, d=2, rate=500.0)
+        assert params.even_split == 50.0
+
+    def test_unreplicated_is_allowed(self):
+        params = SystemParameters(n=10, m=100, c=5, d=1)
+        assert not params.replicated
+
+    def test_replicated_flag(self):
+        assert SystemParameters(n=10, m=100, c=5, d=2).replicated
+
+    def test_zero_cache_is_allowed(self):
+        assert SystemParameters(n=10, m=100, c=0, d=2).c == 0
+
+    def test_cache_covering_key_space_is_allowed(self):
+        assert SystemParameters(n=10, m=100, c=100, d=2).uncached_items == 0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("n", [0, -1])
+    def test_rejects_nonpositive_nodes(self, n):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=n, m=10, c=1, d=1)
+
+    @pytest.mark.parametrize("m", [0, -5])
+    def test_rejects_nonpositive_items(self, m):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=5, m=m, c=0, d=1)
+
+    def test_rejects_cache_larger_than_key_space(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=5, m=10, c=11, d=1)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=5, m=10, c=-1, d=1)
+
+    def test_rejects_replication_above_cluster_size(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=3, m=10, c=1, d=4)
+
+    def test_rejects_zero_replication(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=3, m=10, c=1, d=0)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=3, m=10, c=1, d=2, rate=-1.0)
+
+    def test_rejects_zero_node_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SystemParameters(n=3, m=10, c=1, d=2, node_capacity=0.0)
+
+
+class TestCopies:
+    def test_with_cache_returns_new_object(self, small_params):
+        bigger = small_params.with_cache(50)
+        assert bigger.c == 50
+        assert small_params.c == 10
+        assert bigger.n == small_params.n
+
+    def test_with_nodes(self, small_params):
+        assert small_params.with_nodes(40).n == 40
+
+    def test_with_replication(self, small_params):
+        assert small_params.with_replication(2).d == 2
+
+    def test_with_cache_still_validates(self, small_params):
+        with pytest.raises(ConfigurationError):
+            small_params.with_cache(small_params.m + 1)
+
+    def test_describe_mentions_key_facts(self, small_params):
+        text = small_params.describe()
+        assert "20 nodes" in text
+        assert "3 replicas" in text
+
+    def test_describe_mentions_capacity_when_set(self):
+        params = SystemParameters(n=3, m=10, c=1, d=2, node_capacity=50.0)
+        assert "50" in params.describe()
+
+    def test_frozen(self, small_params):
+        with pytest.raises(Exception):
+            small_params.n = 99

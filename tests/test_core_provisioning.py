@@ -1,0 +1,91 @@
+"""Tests for repro.core.provisioning (the operator-facing API)."""
+
+import pytest
+
+from repro.core.bounds import fold_constant_k
+from repro.core.notation import SystemParameters
+from repro.core.provisioning import (
+    is_provably_protected,
+    min_node_capacity,
+    recommend,
+    required_cache_size,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestRequiredCacheSize:
+    def test_paper_headline(self):
+        assert required_cache_size(1000, 3, k=1.2) == 1201
+
+    def test_order_n_for_realistic_clusters(self):
+        # O(n) headline: a handful of cache entries per node suffice
+        # across the whole realistic range (log log n / log d < ~2.25
+        # with natural logs for n < 1e5, d >= 3).
+        for n in (100, 1000, 10_000, 99_999):
+            c_star = required_cache_size(n, 3, k_prime=1.0)
+            assert c_star <= 3.5 * n + 2
+
+    def test_independent_of_item_count(self):
+        # Signature doesn't even accept m — scalability by construction.
+        assert required_cache_size(1000, 3, k=2.0) == 2001
+
+    def test_more_replication_needs_less_cache(self):
+        assert required_cache_size(1000, 5, k_prime=0.5) < required_cache_size(
+            1000, 2, k_prime=0.5
+        )
+
+
+class TestIsProvablyProtected:
+    def test_small_cache_not_protected(self, paper_params):
+        assert not is_provably_protected(paper_params, k=1.2)
+
+    def test_big_cache_protected(self):
+        params = SystemParameters(n=1000, m=100_000, c=2000, d=3)
+        assert is_provably_protected(params, k=1.2)
+
+    def test_full_cache_always_protected(self):
+        params = SystemParameters(n=1000, m=500, c=500, d=3)
+        # c = m < n k + 1, but the cache holds every item.
+        assert is_provably_protected(params, k=5.0)
+
+
+class TestMinNodeCapacity:
+    def test_exceeds_even_split_when_vulnerable(self, paper_params):
+        assert min_node_capacity(paper_params, k=1.2) > paper_params.even_split
+
+    def test_close_to_even_split_when_protected(self):
+        params = SystemParameters(n=1000, m=100_000, c=2000, d=3, rate=1e5)
+        capacity = min_node_capacity(params, k=1.2)
+        assert capacity <= params.even_split  # Case 2: gain bound < 1
+
+    def test_zero_when_everything_cached(self):
+        params = SystemParameters(n=10, m=20, c=20, d=2, rate=100.0)
+        assert min_node_capacity(params, k=1.0) == 0.0
+
+
+class TestRecommend:
+    def test_report_fields_consistent(self, paper_params):
+        report = recommend(paper_params, k=1.2)
+        assert report.required_cache == 1201
+        assert not report.protected
+        assert report.worst_gain_bound > 1.0
+        assert report.min_capacity == pytest.approx(
+            report.worst_gain_bound * paper_params.even_split
+        )
+
+    def test_cache_to_nodes_ratio(self, paper_params):
+        report = recommend(paper_params, k=1.2)
+        assert report.cache_to_nodes_ratio == pytest.approx(1.201)
+
+    def test_default_k_is_theory_plus_conservative_prime(self, paper_params):
+        report = recommend(paper_params)
+        assert report.k == pytest.approx(fold_constant_k(1000, 3, 1.0))
+
+    def test_describe_mentions_verdict(self, paper_params):
+        assert "VULNERABLE" in recommend(paper_params, k=1.2).describe()
+        protected = paper_params.with_cache(5000)
+        assert "PROTECTED" in recommend(protected, k=1.2).describe()
+
+    def test_rejects_negative_k(self, paper_params):
+        with pytest.raises(ConfigurationError):
+            recommend(paper_params, k=-1.0)

