@@ -10,12 +10,21 @@ default to fewer (the per-bench ``TRIALS`` constants) because the
 qualitative shape — who wins, where the crossover sits — stabilises far
 earlier than the worst-case tail.  ``python -m repro <fig> --full``
 reruns any figure at full paper scale.
+
+Perf benches additionally persist machine-readable JSON via
+:func:`emit_json` (config + wall-seconds + derived throughput numbers)
+and honour ``REPRO_BENCH_SMOKE=1`` (see :func:`smoke_mode`) so a
+seconds-scale variant can run inside the tier-1 test budget.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+import time
 from pathlib import Path
+from typing import Any, Callable, Tuple
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -25,3 +34,31 @@ def emit(name: str, text: str) -> None:
     print(f"\n{text}\n", file=sys.stderr)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable result dict as benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def smoke_mode() -> bool:
+    """Whether ``REPRO_BENCH_SMOKE=1`` asks for a seconds-scale run.
+
+    Smoke runs shrink every dimension (trials, balls, worker counts) so
+    the bench can execute inside the tier-1 test budget, and write their
+    JSON under a ``*_smoke`` name so full-scale artifacts are never
+    overwritten by a test run.
+    """
+    return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
+
+
+def timed(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
+    """Run ``fn(*args, **kwargs)`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start

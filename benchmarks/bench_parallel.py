@@ -1,0 +1,172 @@
+"""Serial-vs-parallel campaign speedup and d-choice kernel throughput.
+
+Two measurements, one artifact (``benchmarks/results/parallel.json``):
+
+- **campaign**: the same Monte-Carlo uniform-attack campaign run at
+  several worker counts.  Per worker count: wall-seconds, trials/s,
+  speedup over the serial run and — the part that actually matters —
+  whether the per-trial results are bit-identical to the serial run
+  (they must be; the parallel substrate derives the exact same
+  ``(seed, label, trial)`` RNG streams).
+- **kernel**: the sequential reference d-choice loop vs the batched
+  numpy kernel on one shared candidate matrix, with byte-identical
+  occupancy required.
+
+``REPRO_BENCH_SMOKE=1`` shrinks both to a seconds-scale run (written to
+``parallel_smoke.json`` so the full-scale artifact survives test runs).
+Speedup assertions are gated on the host actually having the cores to
+parallelise over — a single-core container can still verify determinism
+and kernel throughput, just not multi-process scaling.
+"""
+
+import os
+import sys
+
+from _util import emit, emit_json, smoke_mode, timed
+
+from repro.ballsbins.allocation import (
+    _d_choice_batched,
+    _d_choice_sequential,
+    sample_replica_groups,
+)
+from repro.core.notation import SystemParameters
+from repro.sim.analytic import simulate_uniform_attack
+
+SEED = 20130708
+
+#: Full-scale campaign: the acceptance configuration — 64 trials of the
+#: widest paper attack (x = m, ~1e5 balls/trial) at 1/2/4 workers.
+FULL_CAMPAIGN = {
+    "params": dict(n=1000, m=100_000, c=200, d=3, rate=1e5),
+    "x": 100_000,
+    "trials": 64,
+    "workers": (1, 2, 4),
+}
+SMOKE_CAMPAIGN = {
+    "params": dict(n=200, m=10_000, c=100, d=3, rate=1e5),
+    "x": 10_000,
+    "trials": 8,
+    "workers": (1, 2),
+}
+
+#: Full-scale kernel: the acceptance configuration from ISSUE 1.
+FULL_KERNEL = {"balls": 1_000_000, "bins": 1024, "d": 2}
+SMOKE_KERNEL = {"balls": 100_000, "bins": 1024, "d": 2}
+
+
+def run_campaign_bench() -> dict:
+    spec = SMOKE_CAMPAIGN if smoke_mode() else FULL_CAMPAIGN
+    params = SystemParameters(**spec["params"])
+    trials, x = spec["trials"], spec["x"]
+    rows = []
+    serial_seconds = None
+    serial_series = None
+    for workers in spec["workers"]:
+        report, seconds = timed(
+            simulate_uniform_attack,
+            params, x, trials=trials, seed=SEED, workers=workers,
+        )
+        if serial_seconds is None:
+            serial_seconds, serial_series = seconds, report.normalized_max_per_trial
+        rows.append(
+            {
+                "workers": workers,
+                "wall_seconds": seconds,
+                "trials_per_second": trials / seconds,
+                "speedup": serial_seconds / seconds,
+                "identical_to_serial": bool(
+                    (report.normalized_max_per_trial == serial_series).all()
+                ),
+            }
+        )
+    return {
+        "config": {**spec["params"], "x": x, "trials": trials, "seed": SEED},
+        "results": rows,
+    }
+
+
+def run_kernel_bench() -> dict:
+    spec = SMOKE_KERNEL if smoke_mode() else FULL_KERNEL
+    balls, bins, d = spec["balls"], spec["bins"], spec["d"]
+    choices = sample_replica_groups(balls, bins, d, rng=SEED)
+    sequential_occ, sequential_seconds = timed(_d_choice_sequential, choices, bins)
+    batched_occ, batched_seconds = timed(_d_choice_batched, choices, bins)
+    return {
+        "config": {**spec, "seed": SEED},
+        "sequential_seconds": sequential_seconds,
+        "batched_seconds": batched_seconds,
+        "sequential_balls_per_second": balls / sequential_seconds,
+        "batched_balls_per_second": balls / batched_seconds,
+        "speedup": sequential_seconds / batched_seconds,
+        "identical_occupancy": bool((sequential_occ == batched_occ).all()),
+    }
+
+
+def run_bench() -> dict:
+    """Run both measurements and write the JSON artifact."""
+    payload = {
+        "smoke": smoke_mode(),
+        "cpu_count": os.cpu_count(),
+        "campaign": run_campaign_bench(),
+        "kernel": run_kernel_bench(),
+    }
+    emit_json("parallel_smoke" if smoke_mode() else "parallel", payload)
+    return payload
+
+
+def render(payload: dict) -> str:
+    campaign, kernel = payload["campaign"], payload["kernel"]
+    lines = [
+        "== parallel: campaign fan-out speedup + batched d-choice kernel",
+        f"host cpus: {payload['cpu_count']}, smoke: {payload['smoke']}",
+        "",
+        f"campaign ({campaign['config']['trials']} trials, "
+        f"x={campaign['config']['x']}, n={campaign['config']['n']}):",
+        "workers  wall_s  trials/s  speedup  identical",
+    ]
+    for row in campaign["results"]:
+        lines.append(
+            f"{row['workers']:>7}  {row['wall_seconds']:>6.2f}  "
+            f"{row['trials_per_second']:>8.2f}  {row['speedup']:>7.2f}  "
+            f"{str(row['identical_to_serial']):>9}"
+        )
+    lines += [
+        "",
+        f"kernel (n={kernel['config']['bins']}, d={kernel['config']['d']}, "
+        f"balls={kernel['config']['balls']}):",
+        f"sequential {kernel['sequential_seconds']:.3f}s "
+        f"({kernel['sequential_balls_per_second']:.2e} balls/s), "
+        f"batched {kernel['batched_seconds']:.3f}s "
+        f"({kernel['batched_balls_per_second']:.2e} balls/s), "
+        f"speedup {kernel['speedup']:.2f}x, "
+        f"identical: {kernel['identical_occupancy']}",
+    ]
+    return "\n".join(lines)
+
+
+def bench_parallel(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    emit("parallel", render(payload))
+    # Determinism is non-negotiable on any host.
+    assert all(r["identical_to_serial"] for r in payload["campaign"]["results"])
+    assert payload["kernel"]["identical_occupancy"]
+    assert payload["kernel"]["speedup"] >= 3.0
+    # Scaling needs actual cores to scale over.
+    cpus = payload["cpu_count"] or 1
+    for row in payload["campaign"]["results"]:
+        if row["workers"] > 1 and cpus >= row["workers"]:
+            assert row["speedup"] >= row["workers"] / 2.0
+
+
+def main() -> int:
+    payload = run_bench()
+    emit("parallel_smoke" if smoke_mode() else "parallel", render(payload))
+    ok = (
+        all(r["identical_to_serial"] for r in payload["campaign"]["results"])
+        and payload["kernel"]["identical_occupancy"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trials", type=int, default=None, help="override trial count")
         p.add_argument("--seed", type=int, default=None, help="root RNG seed")
         p.add_argument(
+            "--workers",
+            type=int,
+            default=1,
+            help="trial-execution processes (0 = all CPUs); results are "
+            "identical for any value (see docs/PERFORMANCE.md)",
+        )
+        p.add_argument(
             "--plot", action="store_true", help="append an ASCII plot of the series"
         )
 
@@ -94,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--trials", type=int, default=None)
     campaign.add_argument("--seed", type=int, default=None)
     campaign.add_argument(
+        "--workers", type=int, default=1,
+        help="trial-execution processes (0 = all CPUs)",
+    )
+    campaign.add_argument(
         "--output", type=str, default=None, help="also write the report to this file"
     )
 
@@ -111,7 +122,7 @@ def _run_figure(args: argparse.Namespace) -> int:
     trials = args.trials
     if trials is None:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
-    result = _FIGURES[args.command](trials=trials, seed=args.seed)
+    result = _FIGURES[args.command](trials=trials, seed=args.seed, workers=args.workers)
     print(result.render())
     if args.plot:
         from .experiments.plot import ascii_plot
@@ -143,7 +154,9 @@ def _run_campaign(args: argparse.Namespace) -> int:
     trials = args.trials
     if trials is None:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
-    campaign = run_campaign(trials=trials, seed=args.seed, progress=print)
+    campaign = run_campaign(
+        trials=trials, seed=args.seed, progress=print, workers=args.workers
+    )
     report = campaign.render()
     print(report)
     if args.output:

@@ -65,6 +65,7 @@ def run_campaign(
     seed: Optional[int] = None,
     figures: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
+    workers: int = 1,
 ) -> CampaignResult:
     """Run the selected figures (default: all) and bundle the results.
 
@@ -79,6 +80,9 @@ def run_campaign(
     progress:
         Optional callback invoked with a status line per figure (the
         CLI passes ``print``).
+    workers:
+        Trial-execution processes per sweep point (``0`` = one per CPU,
+        default ``1`` = serial); results are identical for every value.
     """
     if figures is None:
         figures = list(FIGURE_DRIVERS)
@@ -92,7 +96,7 @@ def run_campaign(
     for figure in figures:
         if progress is not None:
             progress(f"running {figure} ({trials} trials per point)...")
-        results.append(FIGURE_DRIVERS[figure](trials=trials, seed=seed))
+        results.append(FIGURE_DRIVERS[figure](trials=trials, seed=seed, workers=workers))
     return CampaignResult(
         results=tuple(results),
         elapsed_seconds=time.monotonic() - started,

@@ -47,6 +47,7 @@ def run_fig3(
     seed: Optional[int] = None,
     selection: str = "least-loaded",
     name: str = "fig3",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run one Figure-3 panel at the given cache size.
 
@@ -61,7 +62,10 @@ def run_fig3(
     if x_values is None:
         x_values = default_x_grid(cache_size, paper.m)
     sim = MonteCarloSimulator(
-        SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+        SimulationConfig(
+            params=params, trials=trials, seed=seed, selection=selection,
+            workers=workers,
+        )
     )
     xs, sim_max, sim_mean, bounds_paper, bounds_calib = [], [], [], [], []
     for x in x_values:
@@ -113,11 +117,12 @@ def run_fig3a(
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     x_values: Optional[Sequence[int]] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Figure 3(a): the small-cache panel (c = 200)."""
     return run_fig3(
         paper.c_small, paper=paper, trials=trials, seed=seed,
-        x_values=x_values, name="fig3a",
+        x_values=x_values, name="fig3a", workers=workers,
     )
 
 
@@ -126,9 +131,10 @@ def run_fig3b(
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     x_values: Optional[Sequence[int]] = None,
+    workers: int = 1,
 ) -> ExperimentResult:
     """Figure 3(b): the large-cache panel (c = 2000)."""
     return run_fig3(
         paper.c_large, paper=paper, trials=trials, seed=seed,
-        x_values=x_values, name="fig3b",
+        x_values=x_values, name="fig3b", workers=workers,
     )

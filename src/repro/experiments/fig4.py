@@ -43,6 +43,7 @@ def run_fig4(
     seed: Optional[int] = None,
     m: Optional[int] = None,
     selection: str = "least-loaded",
+    workers: int = 1,
 ) -> ExperimentResult:
     """Run the Figure-4 sweep.
 
@@ -61,7 +62,10 @@ def run_fig4(
                 n=n, m=key_space, c=c, d=paper.d, rate=paper.rate
             )
         sim = MonteCarloSimulator(
-            SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+            SimulationConfig(
+                params=params, trials=trials, seed=seed, selection=selection,
+                workers=workers,
+            )
         )
         patterns = {
             "uniform": UniformFlood(params).distribution(),

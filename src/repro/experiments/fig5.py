@@ -46,6 +46,7 @@ def run_fig5(
     trials: Optional[int] = None,
     seed: Optional[int] = None,
     selection: str = "least-loaded",
+    workers: int = 1,
 ) -> ExperimentResult:
     """The joint Figure-5 sweep.
 
@@ -60,7 +61,10 @@ def run_fig5(
     for c in cache_values:
         params = paper.system(c=int(c))
         sim = MonteCarloSimulator(
-            SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+            SimulationConfig(
+                params=params, trials=trials, seed=seed, selection=selection,
+                workers=workers,
+            )
         )
         gain, x, _ = sim.best_achievable()
         columns["c"].append(int(c))

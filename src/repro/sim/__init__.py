@@ -19,6 +19,7 @@ from .analytic import (
     simulate_distribution,
     simulate_uniform_attack,
 )
+from .parallel import ParallelExecutor, resolve_workers
 from .runner import run_trials
 from .engine import EventScheduler
 from .queueing import NodeServer
@@ -34,6 +35,8 @@ __all__ = [
     "simulate_uniform_attack",
     "simulate_distribution",
     "best_achievable_gain",
+    "ParallelExecutor",
+    "resolve_workers",
     "run_trials",
     "EventScheduler",
     "NodeServer",

@@ -14,6 +14,7 @@ perfect front-end cache absorbing the distribution's true top-``c``.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional, Tuple, Union
 
 import numpy as np
@@ -71,14 +72,19 @@ class MonteCarloSimulator:
         return LoadVector(loads=loads, total_rate=params.rate)
 
     def uniform_attack(self, x: int) -> LoadReport:
-        """Multi-trial x-key uniform attack; the unit of Figs. 3 and 5."""
+        """Multi-trial x-key uniform attack; the unit of Figs. 3 and 5.
+
+        The trial callable is a ``partial`` over a bound method (not a
+        lambda) so ``workers > 1`` can ship it to worker processes.
+        """
         cfg = self._config
         return run_trials(
-            lambda gen: self.uniform_attack_trial(x, gen),
+            partial(_uniform_attack_trial_task, self, x),
             trials=cfg.trials,
             seed=cfg.seed,
             label=f"uniform-attack-x{x}",
             metadata={"x": x, "selection": cfg.selection, **_param_meta(cfg.params)},
+            workers=cfg.workers,
         )
 
     def _uncached_rates(
@@ -126,7 +132,7 @@ class MonteCarloSimulator:
         """Multi-trial run of an arbitrary access pattern."""
         cfg = self._config
         return run_trials(
-            lambda gen: self.distribution_trial(distribution, gen),
+            partial(_distribution_trial_task, self, distribution),
             trials=cfg.trials,
             seed=cfg.seed,
             label=f"distribution-{distribution.name}",
@@ -135,6 +141,7 @@ class MonteCarloSimulator:
                 "selection": cfg.selection,
                 **_param_meta(cfg.params),
             },
+            workers=cfg.workers,
         )
 
     # -- the adversary's endpoint choice (Figure 5) -------------------------
@@ -166,6 +173,20 @@ def _param_meta(params: SystemParameters) -> dict:
     return {"n": params.n, "m": params.m, "c": params.c, "d": params.d}
 
 
+def _uniform_attack_trial_task(
+    sim: "MonteCarloSimulator", x: int, gen: np.random.Generator
+) -> LoadVector:
+    """Spawn-safe top-level wrapper for the uniform-attack trial."""
+    return sim.uniform_attack_trial(x, gen)
+
+
+def _distribution_trial_task(
+    sim: "MonteCarloSimulator", distribution: KeyDistribution, gen: np.random.Generator
+) -> LoadVector:
+    """Spawn-safe top-level wrapper for the distribution trial."""
+    return sim.distribution_trial(distribution, gen)
+
+
 def simulate_uniform_attack(
     params: SystemParameters,
     x: int,
@@ -173,6 +194,7 @@ def simulate_uniform_attack(
     seed: Optional[int] = None,
     selection: str = "least-loaded",
     exact_rates: bool = True,
+    workers: int = 1,
 ) -> LoadReport:
     """One-call version of the paper's x-key attack experiment."""
     sim = MonteCarloSimulator(
@@ -182,6 +204,7 @@ def simulate_uniform_attack(
             seed=seed,
             selection=selection,
             exact_rates=exact_rates,
+            workers=workers,
         )
     )
     return sim.uniform_attack(x)
@@ -193,10 +216,14 @@ def simulate_distribution(
     trials: int = 200,
     seed: Optional[int] = None,
     selection: str = "least-loaded",
+    workers: int = 1,
 ) -> LoadReport:
     """One-call version of the arbitrary-pattern experiment (Figure 4)."""
     sim = MonteCarloSimulator(
-        SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+        SimulationConfig(
+            params=params, trials=trials, seed=seed, selection=selection,
+            workers=workers,
+        )
     )
     return sim.distribution_attack(distribution)
 
@@ -206,10 +233,14 @@ def best_achievable_gain(
     trials: int = 200,
     seed: Optional[int] = None,
     selection: str = "least-loaded",
+    workers: int = 1,
 ) -> Tuple[float, int]:
     """Best worst-case gain and the ``x`` achieving it (Figure 5 unit)."""
     sim = MonteCarloSimulator(
-        SimulationConfig(params=params, trials=trials, seed=seed, selection=selection)
+        SimulationConfig(
+            params=params, trials=trials, seed=seed, selection=selection,
+            workers=workers,
+        )
     )
     gain, x, _ = sim.best_achievable()
     return gain, x

@@ -20,6 +20,7 @@ from ..exceptions import SimulationError
 from ..types import LoadReport
 from ..workload.distributions import KeyDistribution
 from .eventsim import EventDrivenSimulator, EventSimResult
+from .parallel import ParallelExecutor
 
 __all__ = ["EventCampaign", "run_event_campaign"]
 
@@ -82,6 +83,31 @@ class EventCampaign:
         )
 
 
+def _event_campaign_trial(
+    gen,
+    trial: int,
+    params: SystemParameters,
+    distribution: KeyDistribution,
+    n_queries: int,
+    seed: Optional[int],
+    cache_factory: Optional[Callable[[], object]],
+    simulator_kwargs: dict,
+) -> EventSimResult:
+    """One campaign trial (top-level, so process pools can pickle it).
+
+    The event engine derives its randomness from ``(seed, trial)``
+    internally — a fresh simulator and cache per trial, exactly like the
+    serial loop — so the executor-provided ``gen`` goes unused and the
+    campaign stays bit-identical across worker counts.
+    """
+    del gen
+    cache = cache_factory() if cache_factory is not None else None
+    sim = EventDrivenSimulator(
+        params, distribution, cache=cache, seed=seed, **simulator_kwargs
+    )
+    return sim.run(n_queries, trial=trial)
+
+
 def run_event_campaign(
     params: SystemParameters,
     distribution: KeyDistribution,
@@ -89,6 +115,7 @@ def run_event_campaign(
     n_queries: int = 20_000,
     seed: Optional[int] = None,
     cache_factory: Optional[Callable[[], object]] = None,
+    workers: int = 1,
     **simulator_kwargs,
 ) -> EventCampaign:
     """Run ``trials`` independent event-driven replays and aggregate.
@@ -103,23 +130,28 @@ def run_event_campaign(
     cache_factory:
         Builds a *fresh* cache per trial (stateful policies must not
         leak warmth between trials).  ``None`` uses the per-simulator
-        default (the perfect cache).
+        default (the perfect cache).  Must be picklable when
+        ``workers > 1``.
+    workers:
+        Worker processes (``0`` = one per CPU, default ``1`` = serial);
+        with an explicit ``seed`` the results are identical for every
+        value — see :mod:`repro.sim.parallel`.
     simulator_kwargs:
         Forwarded to every :class:`EventDrivenSimulator` (routing,
         node_capacity, queue_limit, service, cluster...).
     """
     if trials < 1:
         raise SimulationError(f"need at least one trial, got {trials}")
-    results = []
-    gains = np.empty(trials)
-    for trial in range(trials):
-        cache = cache_factory() if cache_factory is not None else None
-        sim = EventDrivenSimulator(
-            params, distribution, cache=cache, seed=seed, **simulator_kwargs
+    with ParallelExecutor(workers=workers) as executor:
+        results = executor.map_trials(
+            _event_campaign_trial,
+            trials,
+            seed=seed,
+            label="event-campaign",
+            args=(params, distribution, n_queries, seed, cache_factory, simulator_kwargs),
+            pass_trial=True,
         )
-        outcome = sim.run(n_queries, trial=trial)
-        results.append(outcome)
-        gains[trial] = outcome.normalized_max
+    gains = np.array([outcome.normalized_max for outcome in results], dtype=float)
     report = LoadReport(
         normalized_max_per_trial=gains,
         total_rate=params.rate,

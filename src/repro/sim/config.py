@@ -33,6 +33,11 @@ class SimulationConfig:
         finite multinomial batch instead, adding client-side noise.
     queries_per_trial:
         Batch size when ``exact_rates=False``.
+    workers:
+        Worker processes for trial execution: ``1`` (default) runs
+        serially, ``0`` uses every CPU, ``n > 1`` uses exactly ``n``.
+        Results are bit-identical for every value (see
+        :mod:`repro.sim.parallel`).
     """
 
     params: SystemParameters
@@ -41,6 +46,7 @@ class SimulationConfig:
     selection: str = "least-loaded"
     exact_rates: bool = True
     queries_per_trial: int = 100_000
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -49,6 +55,14 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"queries_per_trial must be positive, got {self.queries_per_trial}"
             )
+        if self.workers < 0:
+            raise ConfigurationError(
+                f"workers must be >= 0 (0 = all CPUs), got {self.workers}"
+            )
+
+    def with_workers(self, workers: int) -> "SimulationConfig":
+        """Copy with a different worker count (used by the CLI)."""
+        return replace(self, workers=workers)
 
     def with_params(self, params: SystemParameters) -> "SimulationConfig":
         """Copy with a different system (used by sweeps)."""

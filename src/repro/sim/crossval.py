@@ -18,7 +18,7 @@ from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError
 from ..workload.adversarial import AdversarialDistribution
 from .analytic import simulate_uniform_attack
-from .eventsim import EventDrivenSimulator
+from .batch import run_event_campaign
 
 __all__ = ["CrossValidation", "cross_validate"]
 
@@ -60,26 +60,31 @@ def cross_validate(
     event_trials: int = 4,
     queries_per_trial: int = 40_000,
     seed: Optional[int] = None,
+    workers: int = 1,
 ) -> CrossValidation:
     """Run the x-key uniform attack through both engines and compare.
 
     Keeps the event-engine inputs modest by default; raise
     ``queries_per_trial`` when per-node rates need tighter confidence
     (roughly ``20 * rate / n`` queries per node is a good floor).
+    ``workers`` parallelises the trials of both engines (``0`` = one
+    process per CPU) without changing any result.
     """
     if not 1 <= x <= params.m:
         raise ConfigurationError(f"need 1 <= x <= m={params.m}, got x={x}")
     analytic = simulate_uniform_attack(
-        params, x, trials=analytic_trials, seed=seed
+        params, x, trials=analytic_trials, seed=seed, workers=workers
     ).mean
-    gains, drops = [], []
-    for trial in range(event_trials):
-        sim = EventDrivenSimulator(
-            params, AdversarialDistribution(params.m, x), seed=seed
-        )
-        outcome = sim.run(queries_per_trial, trial=trial)
-        gains.append(outcome.normalized_max)
-        drops.append(outcome.drop_rate)
+    campaign = run_event_campaign(
+        params,
+        AdversarialDistribution(params.m, x),
+        trials=event_trials,
+        n_queries=queries_per_trial,
+        seed=seed,
+        workers=workers,
+    )
+    gains = campaign.load_report.normalized_max_per_trial
+    drops = [result.drop_rate for result in campaign.results]
     return CrossValidation(
         x=x,
         analytic_mean=float(analytic),

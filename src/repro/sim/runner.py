@@ -7,8 +7,8 @@ from typing import Callable, Mapping, Optional
 import numpy as np
 
 from ..exceptions import SimulationError
-from ..rng import RngFactory
 from ..types import LoadReport, LoadVector
+from .parallel import ParallelExecutor, resolve_seed
 
 __all__ = ["run_trials"]
 
@@ -19,6 +19,8 @@ def run_trials(
     seed: Optional[int] = None,
     label: str = "trial",
     metadata: Optional[Mapping[str, object]] = None,
+    workers: int = 1,
+    executor: Optional[ParallelExecutor] = None,
 ) -> LoadReport:
     """Run ``trial_fn`` under ``trials`` independent RNG streams.
 
@@ -27,37 +29,55 @@ def run_trials(
     trial_fn:
         Callable producing one :class:`~repro.types.LoadVector` from a
         dedicated generator.  It must consume *only* that generator for
-        randomness, so trials stay independent and reproducible.
+        randomness, so trials stay independent and reproducible.  With
+        ``workers > 1`` it must also be picklable (a top-level function,
+        bound method or ``functools.partial`` — not a lambda).
     trials:
         Number of repetitions.
     seed:
-        Root seed (``None`` = library default, still reproducible).
+        Root seed (``None`` draws fresh entropy once; the resolved value
+        is recorded in the report metadata for exact reruns).
     label:
         RNG stream namespace; two campaigns with different labels and
         the same seed are independent.
     metadata:
-        Attached verbatim to the returned report.
+        Attached to the returned report (plus a ``seed`` key).
+    workers:
+        Worker processes: ``1`` (default) is the serial path, ``0``
+        means one per CPU, ``n > 1`` fans trials out over ``n``
+        processes.  The results are bit-identical for every value.
+    executor:
+        Pre-built :class:`~repro.sim.parallel.ParallelExecutor` to
+        reuse (e.g. to keep one warm pool across many sweep points);
+        overrides ``workers``.
     """
     if trials < 1:
         raise SimulationError(f"need at least one trial, got {trials}")
-    factory = RngFactory(seed)
+    seed = resolve_seed(seed)
+    owns_executor = executor is None
+    if executor is None:
+        executor = ParallelExecutor(workers=workers)
+    try:
+        vectors = executor.map_trials(trial_fn, trials, seed=seed, label=label)
+    finally:
+        if owns_executor:
+            executor.close()
+    # Results are ordered by trial index, so the configuration check is
+    # anchored to trial 0 — never to whichever trial finished first.
+    reference = vectors[0]
     normalized = np.empty(trials, dtype=float)
-    total_rate: Optional[float] = None
-    n_nodes: Optional[int] = None
-    for t in range(trials):
-        gen = factory.generator(label, trial=t)
-        vector = trial_fn(gen)
-        if total_rate is None:
-            total_rate, n_nodes = vector.total_rate, vector.n_nodes
-        elif vector.total_rate != total_rate or vector.n_nodes != n_nodes:
+    for t, vector in enumerate(vectors):
+        if vector.total_rate != reference.total_rate or vector.n_nodes != reference.n_nodes:
             raise SimulationError(
-                "trial_fn changed total_rate or n_nodes between trials; "
+                f"trial {t} changed total_rate or n_nodes relative to trial 0; "
                 "each campaign must hold the configuration fixed"
             )
         normalized[t] = vector.normalized_max
+    meta = dict(metadata or {})
+    meta.setdefault("seed", seed)
     return LoadReport(
         normalized_max_per_trial=normalized,
-        total_rate=float(total_rate),
-        n_nodes=int(n_nodes),
-        metadata=dict(metadata or {}),
+        total_rate=float(reference.total_rate),
+        n_nodes=int(reference.n_nodes),
+        metadata=meta,
     )

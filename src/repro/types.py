@@ -133,6 +133,30 @@ class LoadReport:
             return 0.0
         return float(self.normalized_max_per_trial.std(ddof=1))
 
+    @property
+    def p99(self) -> float:
+        """99th percentile over trials of the normalized max load."""
+        return float(np.percentile(self.normalized_max_per_trial, 99))
+
+    def describe(self) -> str:
+        """Self-describing one-liner for campaign logs.
+
+        Includes the root seed when the producing campaign recorded one
+        in the metadata (``run_trials`` always does), so any logged
+        report can be rerun exactly.
+        """
+        seed = self.metadata.get("seed")
+        seed_part = f", seed={seed}" if seed is not None else ""
+        return (
+            f"LoadReport({self.trials} trials, n={self.n_nodes}, "
+            f"normalized max: mean {self.mean:.3f}, p99 {self.p99:.3f}, "
+            f"worst {self.worst_case:.3f}{seed_part})"
+        )
+
+    def __repr__(self) -> str:
+        """The :meth:`describe` summary (dataclass field dump is noise)."""
+        return self.describe()
+
 
 @dataclass(frozen=True)
 class CacheDecision:

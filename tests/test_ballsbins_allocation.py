@@ -6,6 +6,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.ballsbins.allocation import (
+    _d_choice_batched,
+    _d_choice_sequential,
     d_choice_allocate,
     one_choice_allocate,
     replica_group_allocate,
@@ -109,6 +111,56 @@ class TestDChoice:
         occ = d_choice_allocate(balls, bins, d, rng=seed)
         assert occ.sum() == balls
         assert (occ >= 0).all()
+
+
+class TestBatchedKernel:
+    """The vectorized kernel must be byte-identical to the reference loop."""
+
+    @given(
+        bins=st.integers(min_value=1, max_value=40),
+        balls=st.integers(min_value=0, max_value=400),
+        seed=st.integers(min_value=0, max_value=10_000),
+        d_frac=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batched_equals_sequential(self, bins, balls, seed, d_frac):
+        """Identity over the whole (bins, d, balls) space, d=1..bins."""
+        d = 1 + round(d_frac * (bins - 1))  # hits both d=1 and d=bins
+        choices = np.random.default_rng(seed).integers(0, bins, size=(balls, d))
+        sequential = _d_choice_sequential(choices, bins)
+        batched = _d_choice_batched(np.ascontiguousarray(choices), bins)
+        assert (sequential == batched).all()
+        assert sequential.sum() == balls
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_identity_at_batch_scale(self, d):
+        """Above the auto threshold, where the batched path actually runs."""
+        choices = sample_replica_groups(6000, 64, d, rng=7)
+        sequential = d_choice_allocate(6000, 64, d, choices=choices, method="sequential")
+        batched = d_choice_allocate(6000, 64, d, choices=choices, method="batched")
+        auto = d_choice_allocate(6000, 64, d, choices=choices, method="auto")
+        assert (sequential == batched).all()
+        assert (sequential == auto).all()
+
+    def test_tiny_window_forces_multiple_rounds(self):
+        """window=2 exercises the round carry-over and tail-finish paths."""
+        choices = np.random.default_rng(3).integers(0, 6, size=(300, 3))
+        sequential = _d_choice_sequential(choices, 6)
+        batched = _d_choice_batched(np.ascontiguousarray(choices), 6, window=2)
+        assert (sequential == batched).all()
+
+    def test_duplicate_bins_within_row_not_self_blocking(self):
+        """A ball listing one bin twice must still place (with replacement)."""
+        targets = np.arange(5000) % 197
+        choices = np.stack([targets, targets], axis=1)  # both slots same bin
+        sequential = _d_choice_sequential(choices, 197)
+        batched = _d_choice_batched(np.ascontiguousarray(choices), 197)
+        assert (sequential == batched).all()
+        assert (sequential == np.bincount(targets, minlength=197)).all()
+
+    def test_method_validation(self):
+        with pytest.raises(ConfigurationError):
+            d_choice_allocate(10, 5, 2, method="vectorised")
 
 
 class TestReplicaGroupAllocate:

@@ -1,0 +1,48 @@
+"""Smoke-run the parallel benchmark inside the tier-1 budget.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the bench to a seconds-scale
+configuration and redirects its JSON to ``parallel_smoke.json``, so this
+test never clobbers the committed full-scale artifact.  The point here
+is not performance numbers — it is that the bench runs end to end and
+that determinism (parallel == serial, batched == sequential) holds on
+whatever machine executes the suite.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH = REPO / "benchmarks" / "bench_parallel.py"
+SMOKE_JSON = REPO / "benchmarks" / "results" / "parallel_smoke.json"
+
+
+def test_bench_parallel_smoke():
+    env = dict(os.environ)
+    env["REPRO_BENCH_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(BENCH)],
+        cwd=str(BENCH.parent),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"bench failed:\n{proc.stdout}\n{proc.stderr}"
+
+    payload = json.loads(SMOKE_JSON.read_text(encoding="utf-8"))
+    assert payload["smoke"] is True
+    # Determinism must hold on any host, regardless of core count.
+    assert all(
+        row["identical_to_serial"] for row in payload["campaign"]["results"]
+    )
+    assert payload["kernel"]["identical_occupancy"] is True
+    # Sanity on the recorded shape: wall times and throughputs present.
+    for row in payload["campaign"]["results"]:
+        assert row["wall_seconds"] > 0
+        assert row["trials_per_second"] > 0
+    assert payload["kernel"]["sequential_seconds"] > 0
+    assert payload["kernel"]["batched_seconds"] > 0

@@ -1,0 +1,162 @@
+"""Tests for repro.sim.parallel and the workers= plumbing.
+
+The headline contract: for any worker count, a campaign with a given
+seed produces *bit-identical* per-trial results — parallelism is an
+execution detail, never a semantics change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.notation import SystemParameters
+from repro.exceptions import SimulationError
+from repro.sim.analytic import simulate_uniform_attack
+from repro.sim.batch import run_event_campaign
+from repro.sim.parallel import ParallelExecutor, resolve_seed, resolve_workers
+from repro.sim.runner import run_trials
+from repro.types import LoadVector
+from repro.workload.distributions import UniformDistribution
+
+
+def _params():
+    return SystemParameters(n=20, m=2000, c=50, d=3, rate=1e4)
+
+
+def _uniform_vector(gen):
+    """Top-level (hence picklable) trial: random loads, fixed config."""
+    return LoadVector(loads=gen.random(8) + 0.1, total_rate=100.0)
+
+
+def _trial_index_vector(gen, trial):
+    """Encodes its trial index in the load so ordering is observable."""
+    del gen
+    loads = np.ones(4)
+    loads[0] = 10.0 + trial
+    return LoadVector(loads=loads, total_rate=100.0)
+
+
+def _drifting_vector(gen):
+    """Misbehaving trial fn: total_rate varies per trial stream."""
+    return LoadVector(loads=np.ones(4), total_rate=100.0 + gen.random())
+
+
+class TestResolvers:
+    def test_resolve_workers_defaults(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+
+    def test_resolve_workers_zero_is_cpu_count(self):
+        import os
+
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_resolve_workers_rejects_negative(self):
+        with pytest.raises(SimulationError):
+            resolve_workers(-2)
+
+    def test_resolve_seed_passthrough(self):
+        assert resolve_seed(1234) == 1234
+
+    def test_resolve_seed_none_draws_concrete_entropy(self):
+        seed = resolve_seed(None)
+        assert isinstance(seed, int)
+        # The resolved seed must be replayable: same seed -> same report.
+        a = run_trials(_uniform_vector, trials=3, seed=seed)
+        b = run_trials(_uniform_vector, trials=3, seed=seed)
+        assert (a.normalized_max_per_trial == b.normalized_max_per_trial).all()
+
+
+class TestParallelExecutor:
+    def test_results_come_back_in_trial_order(self):
+        with ParallelExecutor(workers=2, chunk_size=1) as executor:
+            vectors = executor.map_trials(
+                _trial_index_vector, trials=6, seed=7, pass_trial=True
+            )
+        assert [v.loads[0] for v in vectors] == [10.0 + t for t in range(6)]
+
+    def test_parallel_matches_serial_streams(self):
+        serial = ParallelExecutor(workers=1).map_trials(
+            _uniform_vector, trials=8, seed=11
+        )
+        with ParallelExecutor(workers=3) as executor:
+            parallel = executor.map_trials(_uniform_vector, trials=8, seed=11)
+        for a, b in zip(serial, parallel):
+            assert (a.loads == b.loads).all()
+
+    def test_lambda_rejected_with_diagnosis(self):
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(SimulationError, match="picklable"):
+                executor.map_trials(lambda gen: None, trials=4, seed=1)
+
+    def test_lambda_fine_when_serial(self):
+        vectors = ParallelExecutor(workers=1).map_trials(
+            lambda gen: LoadVector(loads=gen.random(3) + 0.1, total_rate=10.0),
+            trials=2,
+            seed=1,
+        )
+        assert len(vectors) == 2
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(SimulationError):
+            ParallelExecutor(workers=2, chunk_size=0)
+
+    def test_unknown_start_method_rejected(self):
+        with pytest.raises(SimulationError):
+            ParallelExecutor(workers=2, mp_context="teleport")
+
+    def test_zero_trials_rejected(self):
+        with pytest.raises(SimulationError):
+            ParallelExecutor().map_trials(_uniform_vector, trials=0, seed=1)
+
+
+class TestRunTrialsWorkers:
+    def test_consistency_check_names_offending_trial(self):
+        with pytest.raises(SimulationError, match="trial 1 .*relative to trial 0"):
+            run_trials(_drifting_vector, trials=3, seed=1, workers=1)
+        # Same contract on the parallel path.
+        with pytest.raises(SimulationError, match="relative to trial 0"):
+            run_trials(_drifting_vector, trials=3, seed=1, workers=2)
+
+    def test_seed_recorded_in_metadata(self):
+        report = run_trials(_uniform_vector, trials=2, seed=99)
+        assert report.metadata["seed"] == 99
+        report = run_trials(_uniform_vector, trials=2, seed=None)
+        assert isinstance(report.metadata["seed"], int)
+
+    def test_reused_executor_overrides_workers(self):
+        with ParallelExecutor(workers=2) as executor:
+            a = run_trials(_uniform_vector, trials=4, seed=5, executor=executor)
+            b = run_trials(_uniform_vector, trials=4, seed=5, workers=1)
+        assert (a.normalized_max_per_trial == b.normalized_max_per_trial).all()
+
+
+class TestEngineDeterminism:
+    """workers=1 vs workers=4 bit-identical, for both engines (ISSUE 1)."""
+
+    def test_monte_carlo_engine(self):
+        serial = simulate_uniform_attack(_params(), x=500, trials=8, seed=42, workers=1)
+        parallel = simulate_uniform_attack(
+            _params(), x=500, trials=8, seed=42, workers=4
+        )
+        assert (
+            serial.normalized_max_per_trial == parallel.normalized_max_per_trial
+        ).all()
+
+    def test_event_engine(self):
+        kwargs = dict(
+            params=_params(),
+            distribution=UniformDistribution(2000),
+            trials=4,
+            n_queries=2000,
+            seed=42,
+        )
+        serial = run_event_campaign(workers=1, **kwargs)
+        parallel = run_event_campaign(workers=4, **kwargs)
+        assert (
+            serial.load_report.normalized_max_per_trial
+            == parallel.load_report.normalized_max_per_trial
+        ).all()
+        assert [r.drop_rate for r in serial.results] == [
+            r.drop_rate for r in parallel.results
+        ]
