@@ -1,0 +1,195 @@
+"""Observability overhead: instrumented vs uninstrumented hot paths.
+
+The observability layer's contract (docs/OBSERVABILITY.md) is that the
+default-off configuration costs nothing measurable and that attaching a
+registry never changes a result.  This bench quantifies both claims on
+the two engines:
+
+- **monte-carlo**: the uniform-attack campaign with (a) ``metrics=None``
+  (the default), (b) the shared null registry, (c) a live
+  ``MetricsRegistry`` plus ``Tracer``.
+- **eventsim**: one request-level replay under the same three modes.
+
+Wall time per mode is the *minimum* over ``REPEATS`` runs (minimum, not
+mean: instrumentation overhead is a floor effect, and the minimum
+discards scheduler noise).  Determinism is asserted strictly —
+instrumented results must equal uninstrumented bit for bit; the timing
+thresholds stay deliberately lenient because container CI timing is
+noisy (the committed full-scale artifact is the honest measurement).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the configuration and writes
+``obs_smoke.json`` so the full-scale artifact survives test runs.
+"""
+
+import sys
+
+from _util import emit, emit_json, smoke_mode, timed
+
+from repro.cache.lru import LRUCache
+from repro.core.notation import SystemParameters
+from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, Tracer
+from repro.sim.analytic import MonteCarloSimulator
+from repro.sim.config import SimulationConfig
+from repro.sim.eventsim import EventDrivenSimulator
+from repro.workload.distributions import UniformDistribution
+
+SEED = 20130708
+
+FULL = {
+    "params": dict(n=1000, m=100_000, c=200, d=3, rate=1e5),
+    "x": 20_000,
+    "trials": 40,
+    "n_queries": 60_000,
+    "repeats": 3,
+}
+SMOKE = {
+    "params": dict(n=100, m=5_000, c=50, d=3, rate=1e5),
+    "x": 2_000,
+    "trials": 8,
+    "n_queries": 8_000,
+    "repeats": 2,
+}
+
+#: (mode name, registry factory, tracer factory).  ``None`` factories
+#: leave the argument at its default-off value.
+MODES = (
+    ("off", lambda: None, lambda: None),
+    ("null", lambda: NULL_REGISTRY, lambda: NULL_TRACER),
+    ("full", MetricsRegistry, Tracer),
+)
+
+
+def _min_of(repeats, fn):
+    best_result, best_seconds = None, None
+    for _ in range(repeats):
+        result, seconds = timed(fn)
+        if best_seconds is None or seconds < best_seconds:
+            best_result, best_seconds = result, seconds
+    return best_result, best_seconds
+
+
+def run_monte_carlo_bench(spec) -> dict:
+    params = SystemParameters(**spec["params"])
+    rows, baseline = {}, None
+    for mode, metrics_factory, tracer_factory in MODES:
+
+        def campaign():
+            sim = MonteCarloSimulator(
+                SimulationConfig(
+                    params=params, trials=spec["trials"], seed=SEED,
+                    metrics=metrics_factory(), tracer=tracer_factory(),
+                )
+            )
+            return sim.uniform_attack(spec["x"])
+
+        report, seconds = _min_of(spec["repeats"], campaign)
+        series = report.normalized_max_per_trial
+        if baseline is None:
+            baseline = series
+        rows[mode] = {
+            "wall_seconds": seconds,
+            "identical_to_off": bool((series == baseline).all()),
+        }
+    off = rows["off"]["wall_seconds"]
+    for mode in rows:
+        rows[mode]["overhead_pct"] = 100.0 * (rows[mode]["wall_seconds"] / off - 1.0)
+    return {
+        "config": {**spec["params"], "x": spec["x"], "trials": spec["trials"],
+                   "seed": SEED},
+        "modes": rows,
+    }
+
+
+def run_eventsim_bench(spec) -> dict:
+    params = SystemParameters(**spec["params"])
+    rows, baseline = {}, None
+    for mode, metrics_factory, tracer_factory in MODES:
+
+        def replay():
+            sim = EventDrivenSimulator(
+                params,
+                UniformDistribution(params.m),
+                cache=LRUCache(params.c),
+                seed=SEED,
+                metrics=metrics_factory(),
+                tracer=tracer_factory(),
+            )
+            return sim.run(spec["n_queries"])
+
+        outcome, seconds = _min_of(spec["repeats"], replay)
+        if baseline is None:
+            baseline = outcome
+        rows[mode] = {
+            "wall_seconds": seconds,
+            "identical_to_off": bool(
+                outcome.normalized_max == baseline.normalized_max
+                and (outcome.served == baseline.served).all()
+                and outcome.cache_hit_rate == baseline.cache_hit_rate
+            ),
+        }
+    off = rows["off"]["wall_seconds"]
+    for mode in rows:
+        rows[mode]["overhead_pct"] = 100.0 * (rows[mode]["wall_seconds"] / off - 1.0)
+    return {
+        "config": {**spec["params"], "n_queries": spec["n_queries"], "seed": SEED},
+        "modes": rows,
+    }
+
+
+def run_bench() -> dict:
+    spec = SMOKE if smoke_mode() else FULL
+    payload = {
+        "smoke": smoke_mode(),
+        "repeats": spec["repeats"],
+        "monte_carlo": run_monte_carlo_bench(spec),
+        "eventsim": run_eventsim_bench(spec),
+    }
+    emit_json("obs_smoke" if smoke_mode() else "obs", payload)
+    return payload
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "== obs: instrumentation overhead (min over "
+        f"{payload['repeats']} runs, smoke: {payload['smoke']})",
+    ]
+    for section in ("monte_carlo", "eventsim"):
+        lines += ["", f"{section}:", "mode  wall_s   overhead  identical"]
+        for mode, row in payload[section]["modes"].items():
+            lines.append(
+                f"{mode:>4}  {row['wall_seconds']:>6.3f}  "
+                f"{row['overhead_pct']:>+7.1f}%  {str(row['identical_to_off']):>9}"
+            )
+    return "\n".join(lines)
+
+
+def check(payload: dict) -> bool:
+    ok = True
+    for section in ("monte_carlo", "eventsim"):
+        modes = payload[section]["modes"]
+        # Hard contract: instrumentation never changes a result.
+        ok = ok and all(row["identical_to_off"] for row in modes.values())
+        if not payload["smoke"]:
+            # Soft contract, full scale only (smoke runs are too short
+            # to time reliably on a loaded host): the null sink must
+            # stay near the uninstrumented floor, and even full
+            # instrumentation must not dominate the run.
+            ok = ok and modes["null"]["overhead_pct"] < 25.0
+            ok = ok and modes["full"]["overhead_pct"] < 100.0
+    return ok
+
+
+def bench_obs(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    emit("obs", render(payload))
+    assert check(payload)
+
+
+def main() -> int:
+    payload = run_bench()
+    emit("obs_smoke" if smoke_mode() else "obs", render(payload))
+    return 0 if check(payload) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,8 @@ The package is organised bottom-up:
 - the paper's contribution: :mod:`repro.core` (Theorem 1, the Eq. (10)
   bound, the case analysis and the O(n log log n / log d) cache-size
   result);
-- engines and measurement: :mod:`repro.sim`, :mod:`repro.analysis`;
+- engines and measurement: :mod:`repro.sim`, :mod:`repro.analysis`,
+  :mod:`repro.obs` (deterministic metrics + phase tracing);
 - the evaluation: :mod:`repro.experiments` (one driver per figure) and
   the ``python -m repro`` CLI.
 
@@ -48,6 +49,7 @@ from .sim import (
     simulate_distribution,
     simulate_uniform_attack,
 )
+from .obs import MetricsRegistry, Tracer
 from .types import LoadReport, LoadVector
 from .exceptions import ReproError
 
@@ -72,6 +74,8 @@ __all__ = [
     "simulate_uniform_attack",
     "simulate_distribution",
     "best_achievable_gain",
+    "MetricsRegistry",
+    "Tracer",
     "LoadVector",
     "LoadReport",
     "ReproError",

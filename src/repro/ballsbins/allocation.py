@@ -51,13 +51,20 @@ def _check(balls: int, bins: int, d: int = 1) -> None:
         raise ConfigurationError(f"need 1 <= d <= bins, got d={d}, bins={bins}")
 
 
-def one_choice_allocate(balls: int, bins: int, rng: RngLike = None) -> np.ndarray:
+def one_choice_allocate(
+    balls: int, bins: int, rng: RngLike = None, metrics=None
+) -> np.ndarray:
     """Throw ``balls`` balls into ``bins`` bins uniformly at random.
 
     The classic one-choice process underlying the SoCC'11 baseline.
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) counts
+    calls and balls; it never influences the allocation.
     """
     _check(balls, bins)
     gen = as_generator(rng, "one-choice")
+    if metrics is not None:
+        metrics.counter("alloc_calls_total", kernel="one-choice").inc()
+        metrics.counter("alloc_balls_total", kernel="one-choice").inc(balls)
     if balls == 0:
         return np.zeros(bins, dtype=np.int64)
     targets = gen.integers(0, bins, size=balls)
@@ -126,7 +133,7 @@ _BATCH_TAIL = 48
 
 
 def _d_choice_batched(
-    choices: np.ndarray, bins: int, window: Optional[int] = None
+    choices: np.ndarray, bins: int, window: Optional[int] = None, metrics=None
 ) -> np.ndarray:
     """Vectorized greedy d-choice, byte-identical to the sequential loop.
 
@@ -162,11 +169,14 @@ def _d_choice_batched(
     ball_ids = np.repeat(np.arange(window), d)
     row_ids = np.arange(window)
     first_claim = np.empty(bins, dtype=np.int64)
+    rounds = 0
+    tail_balls = 0
     start = 0
     while start < balls:
         sub = choices[start : start + window]
         start += sub.shape[0]
         while sub.shape[0] > _BATCH_TAIL:
+            rounds += 1
             r = sub.shape[0]
             flat = sub.ravel()
             ball_of = ball_ids[: r * d]
@@ -186,6 +196,7 @@ def _d_choice_batched(
             # plain fancy indexing (no ``np.add.at``) is safe here.
             loads[chosen] += 1
             sub = sub[~clean_mask]
+        tail_balls += sub.shape[0]
         for row in sub.tolist():
             best = row[0]
             best_load = loads[best]
@@ -195,6 +206,9 @@ def _d_choice_batched(
                     best = cand
                     best_load = cand_load
             loads[best] = best_load + 1
+    if metrics is not None:
+        metrics.counter("alloc_batched_rounds_total").inc(rounds)
+        metrics.counter("alloc_batched_tail_balls_total").inc(tail_balls)
     return loads
 
 
@@ -206,6 +220,7 @@ def d_choice_allocate(
     distinct: bool = True,
     choices: Optional[np.ndarray] = None,
     method: str = "auto",
+    metrics=None,
 ) -> np.ndarray:
     """Greedy d-choice (least-loaded) allocation — the theory model.
 
@@ -221,6 +236,10 @@ def d_choice_allocate(
       configurations, the reference loop otherwise;
     - ``"sequential"``: the plain-Python reference loop;
     - ``"batched"``: the vectorized round-based kernel.
+
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) counts
+    calls, balls and — for the batched kernel — conflict-resolution
+    rounds, per resolved kernel; it never influences the allocation.
     """
     _check(balls, bins, d)
     if method not in ("auto", "sequential", "batched"):
@@ -238,6 +257,9 @@ def d_choice_allocate(
     if balls == 0:
         return np.zeros(bins, dtype=np.int64)
     if d == 1:
+        if metrics is not None:
+            metrics.counter("alloc_calls_total", kernel="one-choice").inc()
+            metrics.counter("alloc_balls_total", kernel="one-choice").inc(balls)
         return np.bincount(choices[:, 0], minlength=bins).astype(np.int64)
     if method == "auto":
         # Dense candidate sets (d within a small factor of bins) make
@@ -247,8 +269,11 @@ def d_choice_allocate(
             method = "batched"
         else:
             method = "sequential"
+    if metrics is not None:
+        metrics.counter("alloc_calls_total", kernel=method).inc()
+        metrics.counter("alloc_balls_total", kernel=method).inc(balls)
     if method == "batched":
-        return _d_choice_batched(np.ascontiguousarray(choices), bins)
+        return _d_choice_batched(np.ascontiguousarray(choices), bins, metrics=metrics)
     return _d_choice_sequential(choices, bins)
 
 

@@ -52,6 +52,25 @@ class FrequencyAdmissionCache(Cache):
         self._sketch = sketch if sketch is not None else CountMinSketch()
         self._sample_size = sample_size
         self.rejected = 0
+        self._published_rejected = 0
+
+    @property
+    def policy_name(self) -> str:
+        """Composed label, e.g. ``tinylfu-lru`` for a wrapped LRU."""
+        return f"tinylfu-{self._inner.policy_name}"
+
+    def publish_metrics(self, metrics) -> None:
+        """Base counters plus the admission-specific rejection count."""
+        from ..obs.metrics import as_registry
+
+        super().publish_metrics(metrics)
+        registry = as_registry(metrics)
+        delta = self.rejected - self._published_rejected
+        if delta:
+            registry.counter(
+                "cache_admission_rejected_total", policy=self.policy_name
+            ).inc(delta)
+        self._published_rejected = self.rejected
 
     @property
     def inner(self) -> EvictingCache:

@@ -23,6 +23,8 @@ class ARCCache(Cache):
     are irrelevant to load-balancing experiments).
     """
 
+    POLICY = "arc"
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._t1: "OrderedDict[int, None]" = OrderedDict()  # recent, resident

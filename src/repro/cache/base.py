@@ -54,13 +54,68 @@ class Cache(ABC):
     bookkeeping (:meth:`_on_hit`) and the miss-path admission
     (:meth:`_admit`); this base class owns the statistics so hit-rate
     accounting is uniform across policies.
+
+    Observability: :meth:`publish_metrics` exports the running counters
+    into a :class:`repro.obs.MetricsRegistry` labelled by
+    :attr:`policy_name`.  The hot :meth:`access` path is never
+    instrumented directly — counters are published from the
+    :class:`CacheStats` totals, which keeps the lookup loop identical
+    whether observability is on or off.
     """
+
+    #: Short policy label used in metrics (``cache_hits_total{policy=}``)
+    #: and reports; subclasses override, the default is derived from the
+    #: class name.
+    POLICY: Optional[str] = None
 
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise CacheError(f"capacity must be non-negative, got {capacity}")
         self._capacity = capacity
         self.stats = CacheStats()
+        # Watermark of already-published totals, so repeated publishes
+        # emit exact deltas instead of double counting.
+        self._published = (0, 0, 0, 0)
+
+    @property
+    def policy_name(self) -> str:
+        """Label identifying this policy in metrics and reports."""
+        if self.POLICY is not None:
+            return self.POLICY
+        name = type(self).__name__
+        if name.endswith("Cache"):
+            name = name[: -len("Cache")]
+        return name.lower()
+
+    def publish_metrics(self, metrics) -> None:
+        """Export hit/miss/insertion/eviction counters to a registry.
+
+        Emits only the *delta* since the previous publish (idempotent
+        when nothing changed), plus point-in-time size/capacity gauges.
+        ``metrics`` may be ``None`` (no-op) or any
+        :class:`repro.obs.MetricsRegistry`.
+        """
+        from ..obs.metrics import as_registry
+
+        registry = as_registry(metrics)
+        stats = self.stats
+        current = (stats.hits, stats.misses, stats.insertions, stats.evictions)
+        names = (
+            "cache_hits_total",
+            "cache_misses_total",
+            "cache_insertions_total",
+            "cache_evictions_total",
+        )
+        policy = self.policy_name
+        for name, now, seen in zip(names, current, self._published):
+            # A CacheStats.reset() between publishes rewinds the totals;
+            # publish the post-reset totals from scratch in that case.
+            delta = now - seen if now >= seen else now
+            if delta:
+                registry.counter(name, policy=policy).inc(delta)
+        self._published = current
+        registry.gauge("cache_size", policy=policy).set(len(self))
+        registry.gauge("cache_capacity", policy=policy).set(self._capacity)
 
     @property
     def capacity(self) -> int:

@@ -18,6 +18,8 @@ class ClockCache(EvictingCache):
     hits are a single bit-set with no list manipulation.
     """
 
+    POLICY = "clock"
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._slots: List[Optional[int]] = []

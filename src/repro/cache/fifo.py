@@ -19,6 +19,8 @@ class FIFOCache(EvictingCache):
     (they behave identically there — neither retains the scanned keys).
     """
 
+    POLICY = "fifo"
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._entries: "OrderedDict[int, None]" = OrderedDict()

@@ -23,6 +23,8 @@ class LFUCache(EvictingCache):
     both benign and adversarial traffic.
     """
 
+    POLICY = "lfu"
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._freq: Dict[int, int] = {}

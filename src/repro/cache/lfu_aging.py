@@ -21,6 +21,8 @@ class LFUAgingCache(LFUCache):
     bench demonstrates this.
     """
 
+    POLICY = "lfu-aging"
+
     def __init__(self, capacity: int, aging_interval: int = 10_000) -> None:
         super().__init__(capacity)
         if aging_interval < 1:

@@ -22,6 +22,8 @@ class LRUCache(EvictingCache):
     bench.
     """
 
+    POLICY = "lru"
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._entries: "OrderedDict[int, None]" = OrderedDict()

@@ -28,6 +28,8 @@ class PerfectCache(Cache):
     probability vector instead.
     """
 
+    POLICY = "perfect"
+
     def __init__(self, capacity: int, pinned: Sequence[int] = None) -> None:
         super().__init__(capacity)
         if pinned is None:

@@ -20,6 +20,8 @@ class RandomEvictionCache(EvictingCache):
     standard dict + swap-pop array trick for O(1) random choice.
     """
 
+    POLICY = "random"
+
     def __init__(
         self, capacity: int, rng: Union[None, int, np.random.Generator] = None
     ) -> None:

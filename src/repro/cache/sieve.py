@@ -32,6 +32,8 @@ class SieveCache(EvictingCache):
     in the cache ablation.
     """
 
+    POLICY = "sieve"
+
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity)
         self._nodes: Dict[int, _Node] = {}

@@ -29,6 +29,8 @@ class SLRUCache(Cache):
         (default 0.8, the classic SLRU recommendation).
     """
 
+    POLICY = "slru"
+
     def __init__(self, capacity: int, protected_fraction: float = 0.8) -> None:
         super().__init__(capacity)
         if not 0.0 < protected_fraction < 1.0:

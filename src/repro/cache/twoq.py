@@ -26,6 +26,8 @@ class TwoQCache(Cache):
     keys only and do not count against capacity).
     """
 
+    POLICY = "2q"
+
     def __init__(self, capacity: int, kin_fraction: float = 0.25, kout_fraction: float = 0.5) -> None:
         super().__init__(capacity)
         if not 0.0 < kin_fraction < 1.0:

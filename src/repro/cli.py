@@ -48,6 +48,47 @@ _FIGURES = {
 }
 
 
+def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a JSON metrics + phase-span snapshot to PATH "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write a Prometheus text-format metrics snapshot to PATH",
+    )
+
+
+def _metrics_sinks(args: argparse.Namespace):
+    """Build (metrics, tracer) sinks if any metrics flag was given."""
+    if not (getattr(args, "metrics_out", None) or getattr(args, "metrics_prom", None)):
+        return None, None
+    from .obs import MetricsRegistry, Tracer
+
+    return MetricsRegistry(), Tracer()
+
+
+def _write_metrics(args: argparse.Namespace, metrics, tracer) -> None:
+    if metrics is None:
+        return
+    from .obs import to_prometheus, write_json
+
+    if args.metrics_out:
+        write_json(args.metrics_out, metrics, tracer=tracer)
+        print(f"metrics written to {args.metrics_out}")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+            fh.write(to_prometheus(metrics, tracer=tracer))
+        print(f"prometheus metrics written to {args.metrics_prom}")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -78,6 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--plot", action="store_true", help="append an ASCII plot of the series"
         )
+        _add_metrics_flags(p)
 
     prov = sub.add_parser("provision", help="cache-provisioning report")
     prov.add_argument("--nodes", "-n", type=int, required=True, help="back-end nodes n")
@@ -107,6 +149,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--output", type=str, default=None, help="also write the report to this file"
     )
+    _add_metrics_flags(campaign)
 
     cal = sub.add_parser("calibrate", help="measure the folded constant k empirically")
     cal.add_argument("--nodes", "-n", type=int, default=PAPER.n)
@@ -122,8 +165,13 @@ def _run_figure(args: argparse.Namespace) -> int:
     trials = args.trials
     if trials is None:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
-    result = _FIGURES[args.command](trials=trials, seed=args.seed, workers=args.workers)
+    metrics, tracer = _metrics_sinks(args)
+    result = _FIGURES[args.command](
+        trials=trials, seed=args.seed, workers=args.workers,
+        metrics=metrics, tracer=tracer,
+    )
     print(result.render())
+    _write_metrics(args, metrics, tracer)
     if args.plot:
         from .experiments.plot import ascii_plot
 
@@ -154,8 +202,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
     trials = args.trials
     if trials is None:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
+    metrics, tracer = _metrics_sinks(args)
     campaign = run_campaign(
-        trials=trials, seed=args.seed, progress=print, workers=args.workers
+        trials=trials, seed=args.seed, progress=print, workers=args.workers,
+        metrics=metrics, tracer=tracer,
     )
     report = campaign.render()
     print(report)
@@ -163,6 +213,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
         print(f"report written to {args.output}")
+    _write_metrics(args, metrics, tracer)
     return 0
 
 

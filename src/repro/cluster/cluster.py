@@ -164,6 +164,25 @@ class Cluster:
         """Per-node load accounts from the most recent ``apply_rates``."""
         return tuple(self._accounts)
 
+    def publish_metrics(self, metrics) -> None:
+        """Export per-node accounts plus cluster-level facts.
+
+        Delegates per-node series to
+        :meth:`repro.cluster.node.NodeLoad.publish_metrics` and adds the
+        cluster shape (``n``, ``d``) and the saturated-node count.
+        ``metrics`` may be ``None`` (no-op).
+        """
+        if metrics is None:
+            return
+        metrics.gauge("cluster_nodes").set(self._n)
+        metrics.gauge("cluster_replication").set(self._d)
+        saturated = 0
+        for account in self._accounts:
+            account.publish_metrics(metrics)
+            if account.saturated:
+                saturated += 1
+        metrics.gauge("cluster_saturated_nodes").set(saturated)
+
     def saturated_nodes(self) -> Sequence[int]:
         """Ids of nodes whose last recorded rate exceeds capacity."""
         return tuple(

@@ -94,6 +94,24 @@ class NodeLoad:
         """Whether the steady-state rate exceeds the node's capacity."""
         return self.node.saturated_by(self.query_rate)
 
+    def publish_metrics(self, metrics) -> None:
+        """Export this node's account into a metrics registry.
+
+        Gauges (point-in-time, per trial): keys assigned, query rate,
+        saturation flag.  Counters (cumulative across publishes):
+        served/dropped request totals.  ``metrics`` may be ``None``.
+        """
+        if metrics is None:
+            return
+        node = str(self.node.node_id)
+        metrics.gauge("node_keys_assigned", node=node).set(self.keys_assigned)
+        metrics.gauge("node_query_rate", node=node).set(self.query_rate)
+        metrics.gauge("node_saturated", node=node).set(1.0 if self.saturated else 0.0)
+        if self.queries_served:
+            metrics.counter("node_served_total", node=node).inc(self.queries_served)
+        if self.queries_dropped:
+            metrics.counter("node_shed_total", node=node).inc(self.queries_dropped)
+
     def reset(self) -> None:
         """Clear all accounting for the next trial."""
         self.keys_assigned = 0

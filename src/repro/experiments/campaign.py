@@ -66,6 +66,8 @@ def run_campaign(
     figures: Optional[Sequence[str]] = None,
     progress: Optional[Callable[[str], None]] = None,
     workers: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> CampaignResult:
     """Run the selected figures (default: all) and bundle the results.
 
@@ -83,6 +85,11 @@ def run_campaign(
     workers:
         Trial-execution processes per sweep point (``0`` = one per CPU,
         default ``1`` = serial); results are identical for every value.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` shared by every
+        figure (``None`` = observability off).
+    tracer:
+        Optional :class:`repro.obs.Tracer` for wall-clock phase spans.
     """
     if figures is None:
         figures = list(FIGURE_DRIVERS)
@@ -96,7 +103,12 @@ def run_campaign(
     for figure in figures:
         if progress is not None:
             progress(f"running {figure} ({trials} trials per point)...")
-        results.append(FIGURE_DRIVERS[figure](trials=trials, seed=seed, workers=workers))
+        results.append(
+            FIGURE_DRIVERS[figure](
+                trials=trials, seed=seed, workers=workers,
+                metrics=metrics, tracer=tracer,
+            )
+        )
     return CampaignResult(
         results=tuple(results),
         elapsed_seconds=time.monotonic() - started,

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..analysis.tightness import bound_tightness
 from ..core.bounds import DEFAULT_CALIBRATED_K_PRIME, normalized_max_load_bound
+from ..obs.tracer import as_tracer
 from ..sim.analytic import MonteCarloSimulator
 from ..sim.config import SimulationConfig
 from .params import PAPER, PaperParams
@@ -48,6 +49,8 @@ def run_fig3(
     selection: str = "least-loaded",
     name: str = "fig3",
     workers: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> ExperimentResult:
     """Run one Figure-3 panel at the given cache size.
 
@@ -64,19 +67,23 @@ def run_fig3(
     sim = MonteCarloSimulator(
         SimulationConfig(
             params=params, trials=trials, seed=seed, selection=selection,
-            workers=workers,
+            workers=workers, metrics=metrics, tracer=tracer,
         )
     )
+    span_tracer = as_tracer(tracer)
     xs, sim_max, sim_mean, bounds_paper, bounds_calib = [], [], [], [], []
-    for x in x_values:
-        report = sim.uniform_attack(int(x))
-        xs.append(int(x))
-        sim_max.append(report.worst_case)
-        sim_mean.append(report.mean)
-        bounds_paper.append(normalized_max_load_bound(params, int(x), k=paper.k))
-        bounds_calib.append(
-            normalized_max_load_bound(params, int(x), k_prime=DEFAULT_CALIBRATED_K_PRIME)
-        )
+    with span_tracer.span(name):
+        for x in x_values:
+            report = sim.uniform_attack(int(x))
+            xs.append(int(x))
+            sim_max.append(report.worst_case)
+            sim_mean.append(report.mean)
+            bounds_paper.append(normalized_max_load_bound(params, int(x), k=paper.k))
+            bounds_calib.append(
+                normalized_max_load_bound(
+                    params, int(x), k_prime=DEFAULT_CALIBRATED_K_PRIME
+                )
+            )
     tightness = bound_tightness(sim_max, bounds_calib)
     trend = "decreasing" if sim_max[0] >= sim_max[-1] else "increasing"
     peak = max(sim_max)
@@ -118,11 +125,14 @@ def run_fig3a(
     seed: Optional[int] = None,
     x_values: Optional[Sequence[int]] = None,
     workers: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 3(a): the small-cache panel (c = 200)."""
     return run_fig3(
         paper.c_small, paper=paper, trials=trials, seed=seed,
         x_values=x_values, name="fig3a", workers=workers,
+        metrics=metrics, tracer=tracer,
     )
 
 
@@ -132,9 +142,12 @@ def run_fig3b(
     seed: Optional[int] = None,
     x_values: Optional[Sequence[int]] = None,
     workers: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> ExperimentResult:
     """Figure 3(b): the large-cache panel (c = 2000)."""
     return run_fig3(
         paper.c_large, paper=paper, trials=trials, seed=seed,
         x_values=x_values, name="fig3b", workers=workers,
+        metrics=metrics, tracer=tracer,
     )

@@ -44,6 +44,8 @@ def run_fig4(
     m: Optional[int] = None,
     selection: str = "least-loaded",
     workers: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> ExperimentResult:
     """Run the Figure-4 sweep.
 
@@ -64,7 +66,7 @@ def run_fig4(
         sim = MonteCarloSimulator(
             SimulationConfig(
                 params=params, trials=trials, seed=seed, selection=selection,
-                workers=workers,
+                workers=workers, metrics=metrics, tracer=tracer,
             )
         )
         patterns = {

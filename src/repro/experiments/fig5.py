@@ -47,6 +47,8 @@ def run_fig5(
     seed: Optional[int] = None,
     selection: str = "least-loaded",
     workers: int = 1,
+    metrics=None,
+    tracer=None,
 ) -> ExperimentResult:
     """The joint Figure-5 sweep.
 
@@ -63,7 +65,7 @@ def run_fig5(
         sim = MonteCarloSimulator(
             SimulationConfig(
                 params=params, trials=trials, seed=seed, selection=selection,
-                workers=workers,
+                workers=workers, metrics=metrics, tracer=tracer,
             )
         )
         gain, x, _ = sim.best_achievable()

@@ -1,0 +1,49 @@
+"""Observability: deterministic metrics, phase tracing, exporters.
+
+The instrumentation surface every layer of the reproduction reports
+through (see ``docs/OBSERVABILITY.md``):
+
+- :class:`MetricsRegistry` — counters, gauges and fixed-bucket log-scale
+  histograms; values are deterministic (identical across worker counts)
+  and registries merge exactly;
+- :class:`Tracer` — nestable wall-clock spans for the simulation phases
+  (workload gen -> cache -> partition -> allocation -> report);
+- :func:`export_json` / :func:`write_json` / :func:`to_prometheus` —
+  one source of truth, two export formats.
+
+Everything defaults off: code paths accept ``metrics=None`` /
+``tracer=None`` and normalise onto the shared no-op singletons, which
+record nothing and allocate nothing.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    as_registry,
+)
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
+from .export import export_json, to_prometheus, write_json
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "as_registry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "as_tracer",
+    "export_json",
+    "write_json",
+    "to_prometheus",
+]

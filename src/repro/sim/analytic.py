@@ -23,6 +23,7 @@ from ..ballsbins.allocation import sample_replica_groups
 from ..cluster.selection import SelectionPolicy, make_selection_policy
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError, SimulationError
+from ..obs.tracer import as_tracer
 from ..types import LoadReport, LoadVector
 from ..workload.distributions import KeyDistribution
 from .config import SimulationConfig
@@ -62,13 +63,21 @@ class MonteCarloSimulator:
         params = self._config.params
         if not 1 <= x <= params.m:
             raise ConfigurationError(f"need 1 <= x <= m={params.m}, got x={x}")
+        tracer = as_tracer(self._config.tracer)
         balls = x - params.c
         if balls <= 0:
             # Every queried key is cached: the back end sees nothing.
             return LoadVector(loads=np.zeros(params.n), total_rate=params.rate)
-        rates = self._uncached_rates(x, balls, gen)
-        groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
-        loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
+        # Phase spans are wall-clock and process-local: they record in
+        # serial runs; with workers > 1 the worker's tracer copy is
+        # discarded (metric determinism is unaffected — spans never
+        # touch the registry).
+        with tracer.span("workload"):
+            rates = self._uncached_rates(x, balls, gen)
+        with tracer.span("partition"):
+            groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
+        with tracer.span("allocation"):
+            loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
         return LoadVector(loads=loads, total_rate=params.rate)
 
     def uniform_attack(self, x: int) -> LoadReport:
@@ -85,6 +94,8 @@ class MonteCarloSimulator:
             label=f"uniform-attack-x{x}",
             metadata={"x": x, "selection": cfg.selection, **_param_meta(cfg.params)},
             workers=cfg.workers,
+            metrics=cfg.metrics,
+            tracer=cfg.tracer,
         )
 
     def _uncached_rates(
@@ -116,16 +127,20 @@ class MonteCarloSimulator:
             raise SimulationError(
                 f"distribution covers {distribution.m} keys, system serves {params.m}"
             )
-        probs = distribution.probabilities()
-        cached = distribution.top_keys(params.c)
-        uncached_mask = probs > 0
-        uncached_mask[cached] = False
-        rates = probs[uncached_mask] * params.rate
+        tracer = as_tracer(self._config.tracer)
+        with tracer.span("workload"):
+            probs = distribution.probabilities()
+            cached = distribution.top_keys(params.c)
+            uncached_mask = probs > 0
+            uncached_mask[cached] = False
+            rates = probs[uncached_mask] * params.rate
         balls = int(rates.size)
         if balls == 0:
             return LoadVector(loads=np.zeros(params.n), total_rate=params.rate)
-        groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
-        loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
+        with tracer.span("partition"):
+            groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
+        with tracer.span("allocation"):
+            loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
         return LoadVector(loads=loads, total_rate=params.rate)
 
     def distribution_attack(self, distribution: KeyDistribution) -> LoadReport:
@@ -142,6 +157,8 @@ class MonteCarloSimulator:
                 **_param_meta(cfg.params),
             },
             workers=cfg.workers,
+            metrics=cfg.metrics,
+            tracer=cfg.tracer,
         )
 
     # -- the adversary's endpoint choice (Figure 5) -------------------------

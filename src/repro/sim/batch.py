@@ -17,6 +17,7 @@ import numpy as np
 
 from ..core.notation import SystemParameters
 from ..exceptions import SimulationError
+from ..obs.tracer import as_tracer
 from ..types import LoadReport
 from ..workload.distributions import KeyDistribution
 from .eventsim import EventDrivenSimulator, EventSimResult
@@ -92,6 +93,7 @@ def _event_campaign_trial(
     seed: Optional[int],
     cache_factory: Optional[Callable[[], object]],
     simulator_kwargs: dict,
+    metrics=None,
 ) -> EventSimResult:
     """One campaign trial (top-level, so process pools can pickle it).
 
@@ -99,11 +101,16 @@ def _event_campaign_trial(
     internally — a fresh simulator and cache per trial, exactly like the
     serial loop — so the executor-provided ``gen`` goes unused and the
     campaign stays bit-identical across worker counts.
+
+    ``metrics`` is the per-trial registry the executor provides when the
+    campaign is instrumented; the simulator publishes into it and the
+    executor merges the snapshots in trial order.
     """
     del gen
     cache = cache_factory() if cache_factory is not None else None
     sim = EventDrivenSimulator(
-        params, distribution, cache=cache, seed=seed, **simulator_kwargs
+        params, distribution, cache=cache, seed=seed, metrics=metrics,
+        **simulator_kwargs
     )
     return sim.run(n_queries, trial=trial)
 
@@ -116,6 +123,8 @@ def run_event_campaign(
     seed: Optional[int] = None,
     cache_factory: Optional[Callable[[], object]] = None,
     workers: int = 1,
+    metrics=None,
+    tracer=None,
     **simulator_kwargs,
 ) -> EventCampaign:
     """Run ``trials`` independent event-driven replays and aggregate.
@@ -136,30 +145,51 @@ def run_event_campaign(
         Worker processes (``0`` = one per CPU, default ``1`` = serial);
         with an explicit ``seed`` the results are identical for every
         value — see :mod:`repro.sim.parallel`.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  Each trial records
+        into a fresh per-trial registry (inside the worker when
+        parallel) and the snapshots are merged here in trial order, so
+        the aggregate values are identical for every ``workers`` value.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; records campaign-level
+        wall-clock spans (``trials`` -> ``aggregate``) in this process.
     simulator_kwargs:
         Forwarded to every :class:`EventDrivenSimulator` (routing,
         node_capacity, queue_limit, service, cluster...).
     """
     if trials < 1:
         raise SimulationError(f"need at least one trial, got {trials}")
-    with ParallelExecutor(workers=workers) as executor:
-        results = executor.map_trials(
-            _event_campaign_trial,
-            trials,
-            seed=seed,
-            label="event-campaign",
-            args=(params, distribution, n_queries, seed, cache_factory, simulator_kwargs),
-            pass_trial=True,
-        )
-    gains = np.array([outcome.normalized_max for outcome in results], dtype=float)
-    report = LoadReport(
-        normalized_max_per_trial=gains,
-        total_rate=params.rate,
-        n_nodes=params.n,
-        metadata={
-            "engine": "event-driven",
-            "n_queries": n_queries,
-            "distribution": distribution.name,
-        },
-    )
+    tracer = as_tracer(tracer)
+    with tracer.span("event-campaign"):
+        with tracer.span("trials"):
+            with ParallelExecutor(workers=workers) as executor:
+                results = executor.map_trials(
+                    _event_campaign_trial,
+                    trials,
+                    seed=seed,
+                    label="event-campaign",
+                    args=(
+                        params, distribution, n_queries, seed, cache_factory,
+                        simulator_kwargs,
+                    ),
+                    pass_trial=True,
+                    metrics=metrics,
+                )
+        with tracer.span("aggregate"):
+            gains = np.array(
+                [outcome.normalized_max for outcome in results], dtype=float
+            )
+            report = LoadReport(
+                normalized_max_per_trial=gains,
+                total_rate=params.rate,
+                n_nodes=params.n,
+                metadata={
+                    "engine": "event-driven",
+                    "n_queries": n_queries,
+                    "distribution": distribution.name,
+                },
+            )
+            if metrics is not None:
+                metrics.counter("event_campaign_trials_total").inc(trials)
+                metrics.histogram("trial_normalized_max").observe_many(gains.tolist())
     return EventCampaign(load_report=report, results=tuple(results))

@@ -38,6 +38,14 @@ class SimulationConfig:
         serially, ``0`` uses every CPU, ``n > 1`` uses exactly ``n``.
         Results are bit-identical for every value (see
         :mod:`repro.sim.parallel`).
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry` the campaigns record
+        into (``None`` = observability off, zero overhead).  Excluded
+        from equality/repr: it is a sink, not part of the configuration
+        identity.
+    tracer:
+        Optional :class:`repro.obs.Tracer` for wall-clock phase spans;
+        same exclusions as ``metrics``.
     """
 
     params: SystemParameters
@@ -47,6 +55,8 @@ class SimulationConfig:
     exact_rates: bool = True
     queries_per_trial: int = 100_000
     workers: int = 1
+    metrics: Optional[object] = field(default=None, compare=False, repr=False)
+    tracer: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.trials < 1:

@@ -22,11 +22,14 @@ class EventScheduler:
     time.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics=None) -> None:
         self._heap: List[Tuple[float, int, EventCallback]] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
+        # Optional repro.obs.MetricsRegistry; counters are flushed once
+        # per run() call, never inside the event loop.
+        self._metrics = metrics
 
     @property
     def now(self) -> float:
@@ -81,4 +84,7 @@ class EventScheduler:
             callback(self, time)
             fired += 1
             self._processed += 1
+        if self._metrics is not None:
+            self._metrics.counter("events_fired_total").inc(fired)
+            self._metrics.gauge("events_pending").set(len(self._heap))
         return fired

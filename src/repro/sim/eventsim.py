@@ -21,6 +21,7 @@ from ..cache.perfect import PerfectCache
 from ..cluster.cluster import Cluster
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError, SimulationError
+from ..obs.tracer import as_tracer
 from ..rng import RngFactory
 from ..types import LoadVector
 from ..workload.distributions import KeyDistribution
@@ -116,6 +117,15 @@ class EventDrivenSimulator:
         Forwarded to every :class:`~repro.sim.queueing.NodeServer`.
     seed:
         Root seed for arrivals, routing and the cluster secret.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; each :meth:`run`
+        publishes deterministic counters (per-node forwarded / served /
+        shed, cache hits/misses per policy, event counts) and simulated
+        latency histograms.  The default ``None`` records nothing and
+        leaves the run byte-identical to an uninstrumented one.
+    tracer:
+        Optional :class:`repro.obs.Tracer` recording wall-clock phase
+        spans (``workload-gen`` -> ``event-loop`` -> ``report``).
     """
 
     def __init__(
@@ -129,6 +139,8 @@ class EventDrivenSimulator:
         service: str = "deterministic",
         node_capacity: Optional[float] = None,
         seed: Optional[int] = None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         if distribution.m != params.m:
             raise ConfigurationError(
@@ -165,6 +177,8 @@ class EventDrivenSimulator:
         self._service = service
         self._pins: Dict[int, int] = {}
         self._pin_counts = np.zeros(params.n, dtype=np.int64)
+        self._metrics = metrics
+        self._tracer = tracer
 
     @property
     def cache(self) -> Cache:
@@ -175,6 +189,40 @@ class EventDrivenSimulator:
     def cluster(self) -> Cluster:
         """The back-end cluster."""
         return self._cluster
+
+    def _publish_run_metrics(
+        self,
+        n_queries: int,
+        frontend_hits: int,
+        backend: int,
+        node_arrivals: np.ndarray,
+        served: np.ndarray,
+        dropped: np.ndarray,
+        latencies: np.ndarray,
+    ) -> None:
+        """Flush one run's deterministic counters into the registry.
+
+        Everything recorded here derives from simulated state (event
+        counts and simulated clock latencies), so the values are
+        identical regardless of wall-clock, host or worker count.
+        """
+        metrics = self._metrics
+        metrics.counter("requests_total").inc(n_queries)
+        metrics.counter("frontend_hits_total").inc(frontend_hits)
+        metrics.counter("backend_queries_total").inc(backend)
+        self._cache.publish_metrics(metrics)
+        for node in range(self._params.n):
+            label = str(node)
+            if node_arrivals[node]:
+                metrics.counter("node_forwarded_total", node=label).inc(
+                    int(node_arrivals[node])
+                )
+            if served[node]:
+                metrics.counter("node_served_total", node=label).inc(int(served[node]))
+            if dropped[node]:
+                metrics.counter("node_shed_total", node=label).inc(int(dropped[node]))
+        if latencies.size:
+            metrics.histogram("backend_latency_seconds").observe_many(latencies.tolist())
 
     def _route(
         self, key: int, servers, gen: np.random.Generator
@@ -203,14 +251,16 @@ class EventDrivenSimulator:
         if n_queries < 1:
             raise SimulationError(f"need at least one query, got {n_queries}")
         params = self._params
+        tracer = as_tracer(self._tracer)
         arrivals_gen = self._factory.generator("eventsim-arrivals", trial=trial)
         routing_gen = self._factory.generator("eventsim-routing", trial=trial)
-        keys = self._distribution.sample(n_queries, rng=arrivals_gen)
-        gaps = arrivals_gen.exponential(1.0 / params.rate, size=n_queries)
-        times = np.cumsum(gaps)
-        duration = float(times[-1])
+        with tracer.span("workload-gen"):
+            keys = self._distribution.sample(n_queries, rng=arrivals_gen)
+            gaps = arrivals_gen.exponential(1.0 / params.rate, size=n_queries)
+            times = np.cumsum(gaps)
+            duration = float(times[-1])
 
-        scheduler = EventScheduler()
+        scheduler = EventScheduler(metrics=self._metrics)
         servers = [
             NodeServer(
                 node_id=i,
@@ -239,18 +289,25 @@ class EventDrivenSimulator:
 
             return fire
 
-        for key, t in zip(keys.tolist(), times.tolist()):
-            scheduler.schedule(float(t), make_arrival(key, float(t)))
-        scheduler.run()
+        with tracer.span("event-loop"):
+            for key, t in zip(keys.tolist(), times.tolist()):
+                scheduler.schedule(float(t), make_arrival(key, float(t)))
+            scheduler.run()
 
-        served = np.array([s.served for s in servers], dtype=np.int64)
-        dropped = np.array([s.dropped for s in servers], dtype=np.int64)
-        latencies = np.concatenate(
-            [np.asarray(s.latencies) for s in servers]
-        ) if served.sum() else np.empty(0)
-        arrival_loads = LoadVector(
-            loads=node_arrivals.astype(float) / duration, total_rate=params.rate
-        )
+        with tracer.span("report"):
+            served = np.array([s.served for s in servers], dtype=np.int64)
+            dropped = np.array([s.dropped for s in servers], dtype=np.int64)
+            latencies = np.concatenate(
+                [np.asarray(s.latencies) for s in servers]
+            ) if served.sum() else np.empty(0)
+            arrival_loads = LoadVector(
+                loads=node_arrivals.astype(float) / duration, total_rate=params.rate
+            )
+            if self._metrics is not None:
+                self._publish_run_metrics(
+                    n_queries, frontend_hits, backend,
+                    node_arrivals, served, dropped, latencies,
+                )
         return EventSimResult(
             duration=duration,
             frontend_hits=frontend_hits,

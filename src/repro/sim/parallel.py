@@ -38,6 +38,7 @@ from typing import Any, Callable, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs.metrics import MetricsRegistry
 from ..rng import RngFactory
 
 __all__ = ["ParallelExecutor", "resolve_workers", "resolve_seed"]
@@ -79,21 +80,38 @@ def _run_chunk(
     pass_trial: bool,
     args: Tuple[Any, ...],
     kwargs: Mapping[str, Any],
+    collect_metrics: bool = False,
 ) -> List[Any]:
     """Run a contiguous block of trials (top-level: spawn-picklable).
 
     Rebuilds the :class:`RngFactory` from the resolved seed inside the
     worker, so each trial's generator is exactly the one the serial loop
     would have produced for the same ``(seed, label, trial)`` triple.
+
+    With ``collect_metrics`` the task receives a *fresh*
+    :class:`~repro.obs.metrics.MetricsRegistry` per trial as a
+    ``metrics=`` keyword and each entry of the returned list becomes
+    ``(result, registry_snapshot)``; the caller merges snapshots in
+    trial order, which is what makes aggregate metrics identical across
+    worker counts.
     """
     factory = RngFactory(seed)
     results = []
     for t in trial_indices:
         gen = factory.generator(label, trial=t)
+        call_kwargs = dict(kwargs)
+        registry = None
+        if collect_metrics:
+            registry = MetricsRegistry()
+            call_kwargs["metrics"] = registry
         if pass_trial:
-            results.append(task(gen, t, *args, **kwargs))
+            outcome = task(gen, t, *args, **call_kwargs)
         else:
-            results.append(task(gen, *args, **kwargs))
+            outcome = task(gen, *args, **call_kwargs)
+        if collect_metrics:
+            results.append((outcome, registry.snapshot()))
+        else:
+            results.append(outcome)
     return results
 
 
@@ -184,6 +202,7 @@ class ParallelExecutor:
         args: Tuple[Any, ...] = (),
         kwargs: Optional[Mapping[str, Any]] = None,
         pass_trial: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> List[Any]:
         """Run ``task`` once per trial; results come back in trial order.
 
@@ -192,27 +211,50 @@ class ParallelExecutor:
         where ``gen`` is the ``(seed, label, trial)`` stream the serial
         loop would have used.  The task must consume only ``gen`` for
         randomness; that is what makes the fan-out order-invariant.
+
+        With ``metrics`` set, the task must additionally accept a
+        ``metrics=`` keyword: every trial records into a *fresh*
+        per-trial registry (built inside the worker), and the snapshots
+        are merged into ``metrics`` in trial order once all trials are
+        in.  Because the merge order is the trial order — never the
+        completion order — the aggregate metric values are identical
+        for every worker count.
         """
         if trials < 1:
             raise SimulationError(f"need at least one trial, got {trials}")
         kwargs = dict(kwargs or {})
         seed = resolve_seed(seed)
+        # A disabled (null) registry records nothing, so skip the whole
+        # per-trial collection machinery for it as well.
+        collect = metrics is not None and metrics.enabled
         if self._workers == 1 or trials == 1:
-            return _run_chunk(task, seed, label, range(trials), pass_trial, args, kwargs)
-        try:
-            pickle.dumps((task, args, kwargs))
-        except Exception as exc:
-            raise SimulationError(
-                "parallel execution requires the task and its arguments to be "
-                "picklable (a top-level function, a bound method of a picklable "
-                f"object, or a functools.partial over either); got {task!r}: {exc}"
-            ) from exc
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_run_chunk, task, seed, label, list(chunk), pass_trial, args, kwargs)
-            for chunk in self._chunks(trials)
-        ]
-        results: List[Any] = []
-        for future in futures:
-            results.extend(future.result())
-        return results
+            results = _run_chunk(
+                task, seed, label, range(trials), pass_trial, args, kwargs, collect
+            )
+        else:
+            try:
+                pickle.dumps((task, args, kwargs))
+            except Exception as exc:
+                raise SimulationError(
+                    "parallel execution requires the task and its arguments to be "
+                    "picklable (a top-level function, a bound method of a picklable "
+                    f"object, or a functools.partial over either); got {task!r}: {exc}"
+                ) from exc
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(
+                    _run_chunk, task, seed, label, list(chunk), pass_trial,
+                    args, kwargs, collect,
+                )
+                for chunk in self._chunks(trials)
+            ]
+            results = []
+            for future in futures:
+                results.extend(future.result())
+        if not collect:
+            return results
+        unwrapped: List[Any] = []
+        for outcome, snapshot in results:
+            metrics.merge_snapshot(snapshot)
+            unwrapped.append(outcome)
+        return unwrapped

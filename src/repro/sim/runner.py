@@ -7,6 +7,7 @@ from typing import Callable, Mapping, Optional
 import numpy as np
 
 from ..exceptions import SimulationError
+from ..obs.tracer import as_tracer
 from ..types import LoadReport, LoadVector
 from .parallel import ParallelExecutor, resolve_seed
 
@@ -21,6 +22,8 @@ def run_trials(
     metadata: Optional[Mapping[str, object]] = None,
     workers: int = 1,
     executor: Optional[ParallelExecutor] = None,
+    metrics=None,
+    tracer=None,
 ) -> LoadReport:
     """Run ``trial_fn`` under ``trials`` independent RNG streams.
 
@@ -50,34 +53,72 @@ def run_trials(
         Pre-built :class:`~repro.sim.parallel.ParallelExecutor` to
         reuse (e.g. to keep one warm pool across many sweep points);
         overrides ``workers``.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  The campaign
+        records per-trial normalized-max histograms and per-node load
+        counters from the trial results, which come back in trial order
+        regardless of worker count — so the recorded values are
+        identical for every ``workers`` value.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; wall-clock spans for the
+        trial fan-out and the aggregation step (this process only).
     """
     if trials < 1:
         raise SimulationError(f"need at least one trial, got {trials}")
     seed = resolve_seed(seed)
+    tracer = as_tracer(tracer)
     owns_executor = executor is None
     if executor is None:
         executor = ParallelExecutor(workers=workers)
     try:
-        vectors = executor.map_trials(trial_fn, trials, seed=seed, label=label)
+        with tracer.span("trials"):
+            vectors = executor.map_trials(trial_fn, trials, seed=seed, label=label)
     finally:
         if owns_executor:
             executor.close()
-    # Results are ordered by trial index, so the configuration check is
-    # anchored to trial 0 — never to whichever trial finished first.
-    reference = vectors[0]
-    normalized = np.empty(trials, dtype=float)
-    for t, vector in enumerate(vectors):
-        if vector.total_rate != reference.total_rate or vector.n_nodes != reference.n_nodes:
-            raise SimulationError(
-                f"trial {t} changed total_rate or n_nodes relative to trial 0; "
-                "each campaign must hold the configuration fixed"
-            )
-        normalized[t] = vector.normalized_max
-    meta = dict(metadata or {})
-    meta.setdefault("seed", seed)
+    with tracer.span("report"):
+        # Results are ordered by trial index, so the configuration check is
+        # anchored to trial 0 — never to whichever trial finished first.
+        reference = vectors[0]
+        normalized = np.empty(trials, dtype=float)
+        for t, vector in enumerate(vectors):
+            if vector.total_rate != reference.total_rate or vector.n_nodes != reference.n_nodes:
+                raise SimulationError(
+                    f"trial {t} changed total_rate or n_nodes relative to trial 0; "
+                    "each campaign must hold the configuration fixed"
+                )
+            normalized[t] = vector.normalized_max
+        if metrics is not None and metrics.enabled:
+            _record_campaign_metrics(metrics, label, vectors, normalized)
+        meta = dict(metadata or {})
+        meta.setdefault("seed", seed)
     return LoadReport(
         normalized_max_per_trial=normalized,
         total_rate=float(reference.total_rate),
         n_nodes=int(reference.n_nodes),
         metadata=meta,
     )
+
+
+def _record_campaign_metrics(
+    metrics,
+    label: str,
+    vectors,
+    normalized: np.ndarray,
+) -> None:
+    """Record one campaign's deterministic aggregates.
+
+    Runs in the parent over the trial-ordered result list, so worker
+    count cannot influence any value.  Per-node load counters sum the
+    offered load each node saw across trials — the per-node series the
+    paper's Theorem 1 bounds.
+    """
+    metrics.counter("campaign_trials_total", campaign=label).inc(len(vectors))
+    histogram = metrics.histogram("trial_normalized_max", campaign=label)
+    histogram.observe_many(normalized.tolist())
+    node_totals = np.zeros_like(vectors[0].loads, dtype=float)
+    for vector in vectors:
+        node_totals += vector.loads
+    for node, total in enumerate(node_totals.tolist()):
+        if total:
+            metrics.counter("node_load_sum", node=str(node)).inc(total)

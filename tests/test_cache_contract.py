@@ -20,6 +20,9 @@ from repro.cache import (
     make_cache,
 )
 
+from repro.cache.perfect import PerfectCache
+from repro.obs import MetricsRegistry
+
 FACTORIES = {
     "lru": lambda cap: LRUCache(cap),
     "fifo": lambda cap: FIFOCache(cap),
@@ -33,6 +36,10 @@ FACTORIES = {
     "sieve": lambda cap: SieveCache(cap),
     "tinylfu-lru": lambda cap: FrequencyAdmissionCache(LRUCache(cap)),
 }
+
+#: The replacement policies plus the static perfect cache — everything
+#: that must honour the metrics-accounting contract.
+METRIC_FACTORIES = dict(FACTORIES, perfect=lambda cap: PerfectCache(cap))
 
 
 @pytest.mark.parametrize("name", sorted(FACTORIES), ids=sorted(FACTORIES))
@@ -109,3 +116,112 @@ class TestCacheContract:
             hit = cache.access(key)
             assert hit == was_resident
             assert len(cache) <= capacity
+
+
+def _counter_values(registry):
+    """(name, labels) -> value for every counter in the registry."""
+    return {(c.name, c.labels): c.value for c in registry.counters()}
+
+
+@pytest.mark.parametrize("name", sorted(METRIC_FACTORIES), ids=sorted(METRIC_FACTORIES))
+class TestCacheMetricsContract:
+    """Hit/miss/insertion/eviction accounting, uniform across policies."""
+
+    def _exercise(self, name, capacity=8, n=1500, universe=60):
+        cache = METRIC_FACTORIES[name](capacity)
+        rng = np.random.default_rng(11)
+        for key in rng.integers(0, universe, size=n).tolist():
+            cache.access(key)
+        return cache, n
+
+    def test_accounting_identities(self, name):
+        cache, n = self._exercise(name)
+        stats = cache.stats
+        assert stats.hits + stats.misses == n
+        assert stats.insertions <= stats.misses
+        assert stats.evictions <= stats.insertions
+        if name != "perfect":
+            # Every replacement policy's residency is exactly the net
+            # insertion balance; the perfect cache never inserts.
+            assert stats.insertions - stats.evictions == len(cache)
+        else:
+            assert stats.insertions == stats.evictions == 0
+
+    def test_publish_exports_exact_totals(self, name):
+        cache, _ = self._exercise(name)
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry)
+        values = _counter_values(registry)
+        policy = cache.policy_name
+        label = (("policy", policy),)
+        stats = cache.stats
+        assert values.get(("cache_hits_total", label), 0) == stats.hits
+        assert values.get(("cache_misses_total", label), 0) == stats.misses
+        assert values.get(("cache_insertions_total", label), 0) == stats.insertions
+        assert values.get(("cache_evictions_total", label), 0) == stats.evictions
+        gauges = {(g.name, g.labels): g.value for g in registry.gauges()}
+        assert gauges[("cache_size", label)] == len(cache)
+        assert gauges[("cache_capacity", label)] == cache.capacity
+
+    def test_double_publish_does_not_double_count(self, name):
+        cache, _ = self._exercise(name)
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry)
+        first = _counter_values(registry)
+        cache.publish_metrics(registry)  # nothing happened in between
+        assert _counter_values(registry) == first
+
+    def test_incremental_publish_emits_deltas(self, name):
+        cache, _ = self._exercise(name)
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry)
+        rng = np.random.default_rng(12)
+        for key in rng.integers(0, 60, size=500).tolist():
+            cache.access(key)
+        cache.publish_metrics(registry)
+        values = _counter_values(registry)
+        label = (("policy", cache.policy_name),)
+        assert values.get(("cache_hits_total", label), 0) == cache.stats.hits
+        assert values.get(("cache_misses_total", label), 0) == cache.stats.misses
+
+    def test_publish_into_fresh_registry_after_reset(self, name):
+        cache, _ = self._exercise(name)
+        cache.publish_metrics(MetricsRegistry())
+        cache.stats.reset()
+        cache.access(0)
+        registry = MetricsRegistry()
+        # The watermark is ahead of the reset totals; publishing must
+        # re-emit from scratch, never raise on a "negative" delta.
+        cache.publish_metrics(registry)
+        values = _counter_values(registry)
+        label = (("policy", cache.policy_name),)
+        published = sum(
+            values.get((metric, label), 0)
+            for metric in ("cache_hits_total", "cache_misses_total")
+        )
+        assert published == cache.stats.hits + cache.stats.misses == 1
+
+    def test_publish_accepts_none(self, name):
+        cache, _ = self._exercise(name)
+        cache.publish_metrics(None)  # must be a silent no-op
+
+    def test_policy_label_matches_factory_name(self, name):
+        cache, _ = self._exercise(name)
+        assert cache.policy_name == name
+
+
+class TestAdmissionFilterMetrics:
+    def test_rejections_counted_under_composed_policy(self):
+        cache = FrequencyAdmissionCache(LRUCache(4))
+        rng = np.random.default_rng(13)
+        for key in rng.integers(0, 50, size=2000).tolist():
+            cache.access(key)
+        registry = MetricsRegistry()
+        cache.publish_metrics(registry)
+        values = _counter_values(registry)
+        label = (("policy", "tinylfu-lru"),)
+        rejected = values.get(("cache_admission_rejected_total", label), 0)
+        assert rejected > 0
+        assert rejected + cache.stats.insertions == cache.stats.misses
+        cache.publish_metrics(registry)
+        assert _counter_values(registry) == values  # delta semantics hold

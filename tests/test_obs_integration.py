@@ -1,0 +1,282 @@
+"""End-to-end observability contracts across the simulation stack.
+
+Three guarantees, each checked against the real engines:
+
+1. **Zero interference** — running with a registry/tracer attached
+   yields byte-identical simulation results to running without.
+2. **Worker invariance** — the merged metrics of a parallel campaign
+   (``workers=2``) equal the serial campaign's exactly.
+3. **Export surface** — a figure-style run plus an event-driven
+   campaign produce the JSON/Prometheus artifacts the acceptance
+   criteria name: per-node load counters, per-policy cache counters,
+   and phase spans with percentiles.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.cli import main as cli_main
+from repro.core.notation import SystemParameters
+from repro.experiments.fig3 import run_fig3
+from repro.experiments.params import PaperParams
+from repro.obs import MetricsRegistry, Tracer, export_json, to_prometheus
+from repro.sim.analytic import MonteCarloSimulator
+from repro.sim.batch import run_event_campaign
+from repro.sim.config import SimulationConfig
+from repro.sim.eventsim import EventDrivenSimulator
+from repro.workload.distributions import UniformDistribution
+
+
+def _params(**overrides):
+    defaults = dict(n=10, m=400, c=20, d=3, rate=2000.0)
+    defaults.update(overrides)
+    return SystemParameters(**defaults)
+
+
+def _lru_factory():
+    """Module-level so ``workers > 1`` can pickle it."""
+    return LRUCache(20)
+
+
+def _mc_report(x=50, seed=11, workers=1, metrics=None, tracer=None):
+    sim = MonteCarloSimulator(
+        SimulationConfig(
+            params=_params(), trials=6, seed=seed, workers=workers,
+            metrics=metrics, tracer=tracer,
+        )
+    )
+    return sim.uniform_attack(x)
+
+
+class TestZeroInterference:
+    def test_monte_carlo_report_is_identical(self):
+        plain = _mc_report()
+        instrumented = _mc_report(metrics=MetricsRegistry(), tracer=Tracer())
+        assert (
+            plain.normalized_max_per_trial == instrumented.normalized_max_per_trial
+        ).all()
+        assert plain.metadata == instrumented.metadata
+
+    def test_eventsim_result_is_identical(self):
+        def run(metrics=None, tracer=None):
+            sim = EventDrivenSimulator(
+                _params(), UniformDistribution(400), cache=LRUCache(20),
+                seed=3, metrics=metrics, tracer=tracer,
+            )
+            return sim.run(3000)
+
+        plain = run()
+        instrumented = run(metrics=MetricsRegistry(), tracer=Tracer())
+        assert plain.normalized_max == instrumented.normalized_max
+        assert (plain.served == instrumented.served).all()
+        assert (plain.dropped == instrumented.dropped).all()
+        assert plain.cache_hit_rate == instrumented.cache_hit_rate
+
+    def test_event_campaign_report_is_identical(self):
+        def run(metrics=None):
+            return run_event_campaign(
+                _params(), UniformDistribution(400), trials=3, n_queries=2000,
+                seed=7, metrics=metrics,
+            )
+
+        plain = run()
+        instrumented = run(metrics=MetricsRegistry())
+        assert (
+            plain.load_report.normalized_max_per_trial
+            == instrumented.load_report.normalized_max_per_trial
+        ).all()
+
+
+class TestWorkerInvariance:
+    def test_monte_carlo_metrics_identical_serial_vs_parallel(self):
+        serial, parallel = MetricsRegistry(), MetricsRegistry()
+        report_serial = _mc_report(workers=1, metrics=serial)
+        report_parallel = _mc_report(workers=2, metrics=parallel)
+        assert (
+            report_serial.normalized_max_per_trial
+            == report_parallel.normalized_max_per_trial
+        ).all()
+        assert serial.snapshot() == parallel.snapshot()
+
+    def test_event_campaign_metrics_identical_serial_vs_parallel(self):
+        snapshots = []
+        for workers in (1, 2):
+            registry = MetricsRegistry()
+            run_event_campaign(
+                _params(), UniformDistribution(400), trials=4, n_queries=2000,
+                seed=9, workers=workers, cache_factory=_lru_factory,
+                metrics=registry,
+            )
+            snapshots.append(registry.snapshot())
+        assert snapshots[0] == snapshots[1]
+
+    def test_event_campaign_cache_counters_survive_the_merge(self):
+        registry = MetricsRegistry()
+        run_event_campaign(
+            _params(), UniformDistribution(400), trials=2, n_queries=1500,
+            seed=5, workers=2, cache_factory=_lru_factory,
+            metrics=registry,
+        )
+        by_name = {
+            (c.name, c.labels): c.value for c in registry.counters()
+        }
+        hits = by_name.get(("cache_hits_total", (("policy", "lru"),)), 0)
+        misses = by_name[("cache_misses_total", (("policy", "lru"),))]
+        requests = by_name[("requests_total", ())]
+        assert hits + misses == requests == 2 * 1500
+
+
+class TestFigureExportSurface:
+    """The ISSUE's fig3-style acceptance check, at test scale."""
+
+    @pytest.fixture(scope="class")
+    def document(self):
+        metrics, tracer = MetricsRegistry(), Tracer()
+        run_fig3(
+            cache_size=20,
+            paper=PaperParams(n=10, m=400, trials=4),
+            x_values=[30, 400],
+            seed=2,
+            metrics=metrics,
+            tracer=tracer,
+        )
+        # Fold an event-driven campaign into the same registry: the
+        # Monte-Carlo engine has no real cache, so hit/miss counters
+        # come from this path.
+        run_event_campaign(
+            _params(), UniformDistribution(400), trials=2, n_queries=1500,
+            seed=5, cache_factory=_lru_factory,
+            metrics=metrics, tracer=tracer,
+        )
+        return export_json(metrics, tracer=tracer), to_prometheus(metrics, tracer)
+
+    def test_per_node_load_counters_present(self, document):
+        json_doc, prom = document
+        node_series = [
+            c for c in json_doc["metrics"]["counters"] if c["name"] == "node_load_sum"
+        ]
+        assert node_series, "fig3-style run must export per-node load counters"
+        assert all("node" in c["labels"] for c in node_series)
+        assert "repro_node_load_sum{node=" in prom
+
+    def test_cache_counters_present_per_policy(self, document):
+        json_doc, prom = document
+        names = {
+            (c["name"], c["labels"].get("policy"))
+            for c in json_doc["metrics"]["counters"]
+        }
+        assert ("cache_hits_total", "lru") in names
+        assert ("cache_misses_total", "lru") in names
+        assert 'repro_cache_hits_total{policy="lru"}' in prom
+
+    def test_phase_spans_with_percentiles(self, document):
+        json_doc, prom = document
+        aggregates = json_doc["trace"]["aggregates"]
+        assert any(path.startswith("fig3") for path in aggregates)
+        assert any(path.endswith("trials") for path in aggregates)
+        for stats in aggregates.values():
+            assert {"count", "p50_seconds", "p95_seconds", "p99_seconds"} <= set(stats)
+        assert "# TYPE repro_span_duration_seconds summary" in prom
+
+    def test_histogram_percentiles_inline(self, document):
+        json_doc, _ = document
+        names = {h["name"] for h in json_doc["metrics"]["histograms"]}
+        assert "trial_normalized_max" in names
+        assert "backend_latency_seconds" in names
+
+    def test_document_is_json_round_trippable(self, document):
+        json_doc, _ = document
+        assert json.loads(json.dumps(json_doc, sort_keys=True)) == json_doc
+
+
+class TestCliExport:
+    def test_metrics_out_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = cli_main(
+            ["fig4", "--trials", "2", "--seed", "1", "--metrics-out", str(out)]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["version"] == 1
+        counter_names = {c["name"] for c in document["metrics"]["counters"]}
+        assert "campaign_trials_total" in counter_names
+        assert "node_load_sum" in counter_names
+        assert document["trace"]["aggregates"]  # spans recorded
+        assert str(out) in capsys.readouterr().out
+
+    def test_metrics_prom_writes_exposition_text(self, tmp_path):
+        out = tmp_path / "metrics.prom"
+        code = cli_main(
+            ["fig4", "--trials", "2", "--seed", "1", "--metrics-prom", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "# TYPE repro_campaign_trials_total counter" in text
+        assert "repro_span_duration_seconds_count" in text
+
+    def test_no_flags_means_no_sinks(self, tmp_path, capsys):
+        code = cli_main(["fig4", "--trials", "2", "--seed", "1"])
+        assert code == 0
+        assert "metrics written" not in capsys.readouterr().out
+
+
+class TestNullSinkEquivalence:
+    def test_null_registry_collects_nothing_through_the_stack(self):
+        from repro.obs import NULL_REGISTRY
+
+        report = _mc_report(metrics=NULL_REGISTRY)
+        assert report.trials == 6
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": [], "gauges": [], "histograms": []
+        }
+
+
+class TestSubstrateInstrumentation:
+    """The lower layers expose the same optional-registry surface."""
+
+    def test_allocation_kernel_counters(self):
+        from repro.ballsbins.allocation import d_choice_allocate, one_choice_allocate
+
+        registry = MetricsRegistry()
+        one_choice_allocate(500, 20, rng=1, metrics=registry)
+        d_choice_allocate(500, 20, d=2, rng=1, metrics=registry)
+        values = {(c.name, c.labels): c.value for c in registry.counters()}
+        assert values[("alloc_balls_total", (("kernel", "one-choice"),))] == 500
+        kernels = {
+            labels[0][1]
+            for (name, labels) in values
+            if name == "alloc_calls_total"
+        }
+        assert "one-choice" in kernels
+        assert kernels & {"batched", "sequential"}  # d-choice resolved a kernel
+        # Same seed with and without a registry allocates identically.
+        assert (
+            d_choice_allocate(500, 20, d=2, rng=1)
+            == d_choice_allocate(500, 20, d=2, rng=1, metrics=MetricsRegistry())
+        ).all()
+
+    def test_event_scheduler_counters(self):
+        from repro.sim.engine import EventScheduler
+
+        registry = MetricsRegistry()
+        scheduler = EventScheduler(metrics=registry)
+        fired = []
+        scheduler.schedule(1.0, lambda sched, now: fired.append(now))
+        scheduler.schedule(2.0, lambda sched, now: fired.append(now))
+        scheduler.run()
+        values = {c.name: c.value for c in registry.counters()}
+        assert values["events_fired_total"] == 2 == len(fired)
+        assert {g.name: g.value for g in registry.gauges()}["events_pending"] == 0
+
+    def test_cluster_publishes_per_node_gauges(self):
+        from repro.cluster.cluster import Cluster
+
+        cluster = Cluster(n=5, d=2, m=100, seed=3)
+        registry = MetricsRegistry()
+        cluster.publish_metrics(registry)
+        gauges = {g.name for g in registry.gauges()}
+        assert {"cluster_nodes", "cluster_replication", "node_keys_assigned"} <= gauges
+        cluster.publish_metrics(None)  # optional sink stays optional
