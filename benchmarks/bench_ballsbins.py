@@ -6,7 +6,6 @@ the ``log log n / log d + k'`` gap the cache-size theorem rests on —
 and, unlike the one-choice gap, it must not grow with the load.
 """
 
-import numpy as np
 from _util import emit
 
 from repro.ballsbins import (

@@ -9,6 +9,11 @@ the two engines:
   (the default), (b) the shared null registry, (c) a live
   ``MetricsRegistry`` plus ``Tracer``.
 - **eventsim**: one request-level replay under the same three modes.
+- **monitor**: the same replay with the *online monitor* off / null /
+  live — the per-request path is the hottest hook in the repository, so
+  the null monitor must sit at the uninstrumented floor and even the
+  live monitor (windows + streaming entropy + alerts) must not dominate
+  the run.
 
 Wall time per mode is the *minimum* over ``REPEATS`` runs (minimum, not
 mean: instrumentation overhead is a floor effect, and the minimum
@@ -27,7 +32,15 @@ from _util import emit, emit_json, smoke_mode, timed
 
 from repro.cache.lru import LRUCache
 from repro.core.notation import SystemParameters
-from repro.obs import NULL_REGISTRY, NULL_TRACER, MetricsRegistry, Tracer
+from repro.obs import (
+    NULL_MONITOR,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    LoadMonitor,
+    MetricsRegistry,
+    MonitorConfig,
+    Tracer,
+)
 from repro.sim.analytic import MonteCarloSimulator
 from repro.sim.config import SimulationConfig
 from repro.sim.eventsim import EventDrivenSimulator
@@ -56,6 +69,13 @@ MODES = (
     ("off", lambda: None, lambda: None),
     ("null", lambda: NULL_REGISTRY, lambda: NULL_TRACER),
     ("full", MetricsRegistry, Tracer),
+)
+
+#: (mode name, monitor factory) for the online-monitor section.
+MONITOR_MODES = (
+    ("off", lambda: None),
+    ("null", lambda: NULL_MONITOR),
+    ("live", lambda: LoadMonitor(MonitorConfig(window=0.05))),
 )
 
 
@@ -136,6 +156,42 @@ def run_eventsim_bench(spec) -> dict:
     }
 
 
+def run_monitor_bench(spec) -> dict:
+    """Null vs live online monitor on the event-driven request path."""
+    params = SystemParameters(**spec["params"])
+    rows, baseline = {}, None
+    for mode, monitor_factory in MONITOR_MODES:
+
+        def replay():
+            sim = EventDrivenSimulator(
+                params,
+                UniformDistribution(params.m),
+                cache=LRUCache(params.c),
+                seed=SEED,
+                monitor=monitor_factory(),
+            )
+            return sim.run(spec["n_queries"])
+
+        outcome, seconds = _min_of(spec["repeats"], replay)
+        if baseline is None:
+            baseline = outcome
+        rows[mode] = {
+            "wall_seconds": seconds,
+            "identical_to_off": bool(
+                outcome.normalized_max == baseline.normalized_max
+                and (outcome.served == baseline.served).all()
+                and outcome.cache_hit_rate == baseline.cache_hit_rate
+            ),
+        }
+    off = rows["off"]["wall_seconds"]
+    for mode in rows:
+        rows[mode]["overhead_pct"] = 100.0 * (rows[mode]["wall_seconds"] / off - 1.0)
+    return {
+        "config": {**spec["params"], "n_queries": spec["n_queries"], "seed": SEED},
+        "modes": rows,
+    }
+
+
 def run_bench() -> dict:
     spec = SMOKE if smoke_mode() else FULL
     payload = {
@@ -143,6 +199,7 @@ def run_bench() -> dict:
         "repeats": spec["repeats"],
         "monte_carlo": run_monte_carlo_bench(spec),
         "eventsim": run_eventsim_bench(spec),
+        "monitor": run_monitor_bench(spec),
     }
     emit_json("obs_smoke" if smoke_mode() else "obs", payload)
     return payload
@@ -153,7 +210,7 @@ def render(payload: dict) -> str:
         "== obs: instrumentation overhead (min over "
         f"{payload['repeats']} runs, smoke: {payload['smoke']})",
     ]
-    for section in ("monte_carlo", "eventsim"):
+    for section in ("monte_carlo", "eventsim", "monitor"):
         lines += ["", f"{section}:", "mode  wall_s   overhead  identical"]
         for mode, row in payload[section]["modes"].items():
             lines.append(
@@ -165,7 +222,7 @@ def render(payload: dict) -> str:
 
 def check(payload: dict) -> bool:
     ok = True
-    for section in ("monte_carlo", "eventsim"):
+    for section in ("monte_carlo", "eventsim", "monitor"):
         modes = payload[section]["modes"]
         # Hard contract: instrumentation never changes a result.
         ok = ok and all(row["identical_to_off"] for row in modes.values())
@@ -175,7 +232,8 @@ def check(payload: dict) -> bool:
             # stay near the uninstrumented floor, and even full
             # instrumentation must not dominate the run.
             ok = ok and modes["null"]["overhead_pct"] < 25.0
-            ok = ok and modes["full"]["overhead_pct"] < 100.0
+            live = "live" if "live" in modes else "full"
+            ok = ok and modes[live]["overhead_pct"] < 100.0
     return ok
 
 

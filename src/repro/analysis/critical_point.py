@@ -10,7 +10,7 @@ measured gain curve.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Tuple
 
 from ..exceptions import AnalysisError
 

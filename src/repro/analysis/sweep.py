@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from ..exceptions import AnalysisError
 

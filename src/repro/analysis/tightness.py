@@ -9,7 +9,7 @@ that gap: violations (simulation above bound), worst and mean slack.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

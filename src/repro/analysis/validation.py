@@ -14,7 +14,6 @@ and sampler in the repository, not just assert them in prose.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Sequence
 

@@ -16,7 +16,7 @@ from typing import Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..rng import RngFactory, as_generator
+from ..rng import RngFactory
 from .allocation import d_choice_allocate, one_choice_allocate
 
 __all__ = [

@@ -13,7 +13,7 @@ the "no cache" baseline in experiments.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from ..exceptions import CacheError

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
-
 from ..exceptions import CacheError
 from .lfu import LFUCache
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..exceptions import CacheError
 from .base import Cache

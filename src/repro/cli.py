@@ -13,6 +13,17 @@ Commands
     the unreplicated SoCC'11 baseline for contrast.
 ``calibrate``
     Empirically measure the folded constant ``k`` for given ``(n, d)``.
+``replay``
+    Event-driven replay of an attack (or benign) stream with the online
+    monitor attached: sliding-window telemetry, the streaming gain
+    estimate against the Theorem-2 bound, alerts, and optional JSONL
+    event-log / HTML dashboard outputs.
+
+Monitoring flags (figures, ``all`` and ``replay``): ``--monitor``
+attaches the online :class:`~repro.obs.LoadMonitor`, ``--window`` sets
+the simulated-time window width, ``--events-out`` writes the structured
+JSONL event log, and ``--alerts`` prints alert records live as rules
+fire.
 """
 
 from __future__ import annotations
@@ -64,6 +75,71 @@ def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a Prometheus text-format metrics snapshot to PATH",
     )
+
+
+def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--monitor",
+        action="store_true",
+        help="attach the online attack monitor (windows, streaming gain "
+        "vs the Theorem-2 bound, alerts; see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=0.1,
+        metavar="SECONDS",
+        help="monitor window width on the simulated clock (default 0.1s; "
+        "event-driven replay only — trial campaigns use one window per trial)",
+    )
+    parser.add_argument(
+        "--events-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the monitor's structured JSONL event log to PATH "
+        "(implies --monitor)",
+    )
+    parser.add_argument(
+        "--alerts",
+        action="store_true",
+        help="print alert records live as monitor rules fire (implies --monitor)",
+    )
+
+
+def _monitor_sink(args: argparse.Namespace, **config_kwargs):
+    """Build the LoadMonitor if any monitor flag was given."""
+    wanted = (
+        getattr(args, "monitor", False)
+        or getattr(args, "events_out", None)
+        or getattr(args, "alerts", False)
+    )
+    if not wanted:
+        return None
+    from .obs import LoadMonitor, MonitorConfig
+
+    config = MonitorConfig(window=args.window, **config_kwargs)
+    on_alert = None
+    if args.alerts:
+        def on_alert(alert):
+            print(
+                f"ALERT [{alert['rule']}] trial={alert.get('trial')} "
+                f"window={alert.get('window')} value={alert.get('value'):.4g} "
+                f"threshold={alert.get('threshold'):.4g}"
+            )
+    return LoadMonitor(config, on_alert=on_alert)
+
+
+def _write_monitor(args: argparse.Namespace, monitor) -> None:
+    if monitor is None:
+        return
+    from .obs import render_text
+
+    print()
+    print(render_text(monitor))
+    if args.events_out:
+        monitor.events.write(args.events_out)
+        print(f"event log written to {args.events_out}")
 
 
 def _metrics_sinks(args: argparse.Namespace):
@@ -120,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--plot", action="store_true", help="append an ASCII plot of the series"
         )
         _add_metrics_flags(p)
+        _add_monitor_flags(p)
 
     prov = sub.add_parser("provision", help="cache-provisioning report")
     prov.add_argument("--nodes", "-n", type=int, required=True, help="back-end nodes n")
@@ -150,6 +227,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None, help="also write the report to this file"
     )
     _add_metrics_flags(campaign)
+    _add_monitor_flags(campaign)
+
+    replay = sub.add_parser(
+        "replay",
+        help="event-driven replay of an attack with the online monitor",
+    )
+    replay.add_argument("--nodes", "-n", type=int, default=200, help="back-end nodes n")
+    replay.add_argument("--items", "-m", type=int, default=50_000, help="stored items m")
+    replay.add_argument("--cache", "-c", type=int, default=60, help="cache size c")
+    replay.add_argument("--replication", "-d", type=int, default=3, help="replication d")
+    replay.add_argument("--rate", "-R", type=float, default=50_000.0, help="offered rate R (qps)")
+    replay.add_argument(
+        "--pattern",
+        choices=("adversarial", "uniform", "zipf"),
+        default="adversarial",
+        help="access pattern to replay (default: the paper's optimal adversary)",
+    )
+    replay.add_argument("--queries", type=int, default=50_000, help="queries per trial")
+    replay.add_argument("--trials", type=int, default=1, help="independent replays")
+    replay.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    replay.add_argument(
+        "--workers", type=int, default=1,
+        help="trial-execution processes (0 = all CPUs); monitor output is "
+        "identical for any value",
+    )
+    replay.add_argument(
+        "--k-prime", type=float, default=None,
+        help="Theta(1) remainder k' for the Theorem-2 bound (default: "
+        "substrate-calibrated)",
+    )
+    replay.add_argument(
+        "--dashboard", type=str, default=None, metavar="PATH",
+        help="write a standalone HTML dashboard (gain vs bound chart) to PATH",
+    )
+    _add_metrics_flags(replay)
+    _add_monitor_flags(replay)
 
     cal = sub.add_parser("calibrate", help="measure the folded constant k empirically")
     cal.add_argument("--nodes", "-n", type=int, default=PAPER.n)
@@ -166,12 +279,14 @@ def _run_figure(args: argparse.Namespace) -> int:
     if trials is None:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
     metrics, tracer = _metrics_sinks(args)
+    monitor = _monitor_sink(args)
     result = _FIGURES[args.command](
         trials=trials, seed=args.seed, workers=args.workers,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, monitor=monitor,
     )
     print(result.render())
     _write_metrics(args, metrics, tracer)
+    _write_monitor(args, monitor)
     if args.plot:
         from .experiments.plot import ascii_plot
 
@@ -203,9 +318,10 @@ def _run_campaign(args: argparse.Namespace) -> int:
     if trials is None:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
     metrics, tracer = _metrics_sinks(args)
+    monitor = _monitor_sink(args)
     campaign = run_campaign(
         trials=trials, seed=args.seed, progress=print, workers=args.workers,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, monitor=monitor,
     )
     report = campaign.render()
     print(report)
@@ -214,6 +330,61 @@ def _run_campaign(args: argparse.Namespace) -> int:
             fh.write(report + "\n")
         print(f"report written to {args.output}")
     _write_metrics(args, metrics, tracer)
+    _write_monitor(args, monitor)
+    return 0
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    from .adversary.strategies import OptimalAdversary, UniformFlood, ZipfClient
+    from .core.bounds import DEFAULT_CALIBRATED_K_PRIME
+    from .obs import LoadMonitor, MonitorConfig
+    from .sim.batch import run_event_campaign
+
+    params = SystemParameters(
+        n=args.nodes, m=args.items, c=args.cache, d=args.replication,
+        rate=args.rate,
+    )
+    k_prime = DEFAULT_CALIBRATED_K_PRIME if args.k_prime is None else args.k_prime
+    x = None
+    if args.pattern == "adversarial":
+        adversary = OptimalAdversary(params, k_prime=k_prime)
+        distribution = adversary.distribution()
+        x = adversary.x
+    elif args.pattern == "uniform":
+        distribution = UniformFlood(params).distribution()
+        x = params.m
+    else:
+        distribution = ZipfClient(params, s=PAPER.zipf_s).distribution()
+    metrics, tracer = _metrics_sinks(args)
+    # The replay always monitors (that is its point); flags only add
+    # outputs on top.
+    config = MonitorConfig.from_params(params, x=x, window=args.window,
+                                       k_prime=k_prime)
+    base = _monitor_sink(args, **{
+        k: getattr(config, k)
+        for k in ("n", "rate", "c", "d", "x", "k_prime")
+    })
+    monitor = base if base is not None else LoadMonitor(config)
+    campaign = run_event_campaign(
+        params,
+        distribution,
+        trials=args.trials,
+        n_queries=args.queries,
+        seed=args.seed,
+        workers=args.workers,
+        metrics=metrics,
+        tracer=tracer,
+        monitor=monitor,
+    )
+    print(campaign.describe())
+    _write_metrics(args, metrics, tracer)
+    _write_monitor(args, monitor)
+    if args.dashboard:
+        from .obs import write_html
+
+        write_html(monitor, args.dashboard,
+                   title=f"replay: {args.pattern} attack on n={params.n}")
+        print(f"dashboard written to {args.dashboard}")
     return 0
 
 
@@ -267,6 +438,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_plan(args)
     if args.command == "calibrate":
         return _run_calibrate(args)
+    if args.command == "replay":
+        return _run_replay(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

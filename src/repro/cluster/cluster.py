@@ -12,7 +12,7 @@ from typing import Mapping, Optional, Sequence, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
-from ..rng import RngFactory, as_generator
+from ..rng import as_generator
 from ..types import LoadVector
 from .node import BackendNode, NodeLoad
 from .partitioner import Partitioner, RandomTablePartitioner

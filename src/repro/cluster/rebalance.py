@@ -21,7 +21,7 @@ the guarantee and operators can cost a topology change.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ steady-state rates into a per-node load vector.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

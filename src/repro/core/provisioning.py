@@ -14,7 +14,6 @@ need to be provably DDoS-proof?
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 

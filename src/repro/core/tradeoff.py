@@ -23,7 +23,6 @@ from typing import Optional, Sequence, Tuple
 
 from ..exceptions import ConfigurationError
 from .cases import critical_cache_size
-from .notation import SystemParameters
 
 __all__ = ["ResourceCosts", "DefenseOption", "DefensePlan", "plan_defense"]
 

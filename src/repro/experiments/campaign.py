@@ -68,6 +68,7 @@ def run_campaign(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> CampaignResult:
     """Run the selected figures (default: all) and bundle the results.
 
@@ -90,6 +91,10 @@ def run_campaign(
         figure (``None`` = observability off).
     tracer:
         Optional :class:`repro.obs.Tracer` for wall-clock phase spans.
+    monitor:
+        Optional :class:`repro.obs.LoadMonitor` shared by every figure;
+        each sweep point's trials become trial-clock window records with
+        the Theorem-2 bound attached where the sweep knows its ``x``.
     """
     if figures is None:
         figures = list(FIGURE_DRIVERS)
@@ -106,7 +111,7 @@ def run_campaign(
         results.append(
             FIGURE_DRIVERS[figure](
                 trials=trials, seed=seed, workers=workers,
-                metrics=metrics, tracer=tracer,
+                metrics=metrics, tracer=tracer, monitor=monitor,
             )
         )
     return CampaignResult(

@@ -51,6 +51,7 @@ def run_fig3(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> ExperimentResult:
     """Run one Figure-3 panel at the given cache size.
 
@@ -67,7 +68,7 @@ def run_fig3(
     sim = MonteCarloSimulator(
         SimulationConfig(
             params=params, trials=trials, seed=seed, selection=selection,
-            workers=workers, metrics=metrics, tracer=tracer,
+            workers=workers, metrics=metrics, tracer=tracer, monitor=monitor,
         )
     )
     span_tracer = as_tracer(tracer)
@@ -127,12 +128,13 @@ def run_fig3a(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> ExperimentResult:
     """Figure 3(a): the small-cache panel (c = 200)."""
     return run_fig3(
         paper.c_small, paper=paper, trials=trials, seed=seed,
         x_values=x_values, name="fig3a", workers=workers,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, monitor=monitor,
     )
 
 
@@ -144,10 +146,11 @@ def run_fig3b(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> ExperimentResult:
     """Figure 3(b): the large-cache panel (c = 2000)."""
     return run_fig3(
         paper.c_large, paper=paper, trials=trials, seed=seed,
         x_values=x_values, name="fig3b", workers=workers,
-        metrics=metrics, tracer=tracer,
+        metrics=metrics, tracer=tracer, monitor=monitor,
     )

@@ -46,6 +46,7 @@ def run_fig4(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> ExperimentResult:
     """Run the Figure-4 sweep.
 
@@ -66,7 +67,7 @@ def run_fig4(
         sim = MonteCarloSimulator(
             SimulationConfig(
                 params=params, trials=trials, seed=seed, selection=selection,
-                workers=workers, metrics=metrics, tracer=tracer,
+                workers=workers, metrics=metrics, tracer=tracer, monitor=monitor,
             )
         )
         patterns = {

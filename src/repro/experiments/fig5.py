@@ -49,6 +49,7 @@ def run_fig5(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> ExperimentResult:
     """The joint Figure-5 sweep.
 
@@ -65,7 +66,7 @@ def run_fig5(
         sim = MonteCarloSimulator(
             SimulationConfig(
                 params=params, trials=trials, seed=seed, selection=selection,
-                workers=workers, metrics=metrics, tracer=tracer,
+                workers=workers, metrics=metrics, tracer=tracer, monitor=monitor,
             )
         )
         gain, x, _ = sim.best_achievable()

@@ -10,7 +10,7 @@ leaving the shell (``python -m repro fig3a --plot``).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from ..exceptions import AnalysisError
 

@@ -9,11 +9,17 @@ through (see ``docs/OBSERVABILITY.md``):
 - :class:`Tracer` — nestable wall-clock spans for the simulation phases
   (workload gen -> cache -> partition -> allocation -> report);
 - :func:`export_json` / :func:`write_json` / :func:`to_prometheus` —
-  one source of truth, two export formats.
+  one source of truth, two export formats;
+- :class:`LoadMonitor` — **online** attack monitoring: simulated-clock
+  sliding windows (:mod:`repro.obs.windows`), a streaming attack-gain
+  estimator with P² quantile sketches (:mod:`repro.obs.sketch`), a
+  structured JSONL event log (:mod:`repro.obs.events`), rule-based
+  alerting (:mod:`repro.obs.alerts`) and terminal/HTML dashboards
+  (:mod:`repro.obs.dashboard`).
 
 Everything defaults off: code paths accept ``metrics=None`` /
-``tracer=None`` and normalise onto the shared no-op singletons, which
-record nothing and allocate nothing.
+``tracer=None`` / ``monitor=None`` and normalise onto the shared no-op
+singletons, which record nothing and allocate nothing.
 """
 
 from .metrics import (
@@ -28,6 +34,18 @@ from .metrics import (
 )
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
 from .export import export_json, to_prometheus, write_json
+from .windows import StreamingEntropy, WindowAccumulator
+from .sketch import P2Quantile, QuantileBank
+from .events import SCHEMA_VERSION, EventLog
+from .alerts import BUILTIN_RULES, AlertEngine, AlertRule
+from .monitor import (
+    NULL_MONITOR,
+    LoadMonitor,
+    MonitorConfig,
+    NullMonitor,
+    as_monitor,
+)
+from .dashboard import render_html, render_text, write_html
 
 __all__ = [
     "Counter",
@@ -46,4 +64,21 @@ __all__ = [
     "export_json",
     "write_json",
     "to_prometheus",
+    "StreamingEntropy",
+    "WindowAccumulator",
+    "P2Quantile",
+    "QuantileBank",
+    "SCHEMA_VERSION",
+    "EventLog",
+    "AlertRule",
+    "AlertEngine",
+    "BUILTIN_RULES",
+    "MonitorConfig",
+    "LoadMonitor",
+    "NullMonitor",
+    "NULL_MONITOR",
+    "as_monitor",
+    "render_text",
+    "render_html",
+    "write_html",
 ]

@@ -192,15 +192,34 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``0 <= q <= 1``) from buckets.
 
-        Returns ``nan`` before any observation.  The estimate is the
-        nearest-rank order statistic's bucket, linearly interpolated by
-        rank within the bucket and clamped to the observed ``[min, max]``
-        range.
+        Edge contract (exact, not estimated):
+
+        - **empty histogram** -> ``nan`` (quantiles of nothing are
+          undefined; callers must NaN-check, the exporters render it as
+          ``null``);
+        - **single observation** -> that observation, for every ``q``;
+        - ``q == 0`` -> the exact observed minimum, ``q == 1`` -> the
+          exact observed maximum.
+
+        Otherwise the estimate is the nearest-rank order statistic's
+        bucket, linearly interpolated by rank within the bucket and
+        clamped to the observed ``[min, max]`` range (buckets are
+        coarser than the data; the true order statistic can never fall
+        outside the observed range).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self._count == 0:
             return float("nan")
+        # One observation: every quantile is that value.  Skipping the
+        # bucket walk also avoids reporting a bucket boundary for data
+        # the histogram knows exactly.
+        if self._count == 1:
+            return self._min
+        if q == 0.0:
+            return self._min
+        if q == 1.0:
+            return self._max
         # nearest-rank: the ceil(q * count)-th smallest observation
         rank = max(1, math.ceil(q * self._count - 1e-9))
         cumulative = 0
@@ -208,8 +227,8 @@ class Histogram:
             previous = cumulative
             cumulative += bucket_count
             if cumulative >= rank:
-                lo = self.bounds[idx - 1] if idx > 0 else (self._min or 0.0)
-                hi = self.bounds[idx] if idx < len(self.bounds) else (self._max or lo)
+                lo = self.bounds[idx - 1] if idx > 0 else self._min
+                hi = self.bounds[idx] if idx < len(self.bounds) else self._max
                 if bucket_count > 1:
                     fraction = (rank - previous - 1) / (bucket_count - 1)
                 else:

@@ -15,12 +15,12 @@ perfect front-end cache absorbing the distribution's true top-``c``.
 from __future__ import annotations
 
 from functools import partial
-from typing import Optional, Tuple, Union
+from typing import Optional, Tuple
 
 import numpy as np
 
 from ..ballsbins.allocation import sample_replica_groups
-from ..cluster.selection import SelectionPolicy, make_selection_policy
+from ..cluster.selection import make_selection_policy
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError, SimulationError
 from ..obs.tracer import as_tracer
@@ -96,6 +96,7 @@ class MonteCarloSimulator:
             workers=cfg.workers,
             metrics=cfg.metrics,
             tracer=cfg.tracer,
+            monitor=cfg.monitor,
         )
 
     def _uncached_rates(
@@ -159,6 +160,7 @@ class MonteCarloSimulator:
             workers=cfg.workers,
             metrics=cfg.metrics,
             tracer=cfg.tracer,
+            monitor=cfg.monitor,
         )
 
     # -- the adversary's endpoint choice (Figure 5) -------------------------

@@ -94,6 +94,7 @@ def _event_campaign_trial(
     cache_factory: Optional[Callable[[], object]],
     simulator_kwargs: dict,
     metrics=None,
+    monitor=None,
 ) -> EventSimResult:
     """One campaign trial (top-level, so process pools can pickle it).
 
@@ -102,15 +103,16 @@ def _event_campaign_trial(
     serial loop — so the executor-provided ``gen`` goes unused and the
     campaign stays bit-identical across worker counts.
 
-    ``metrics`` is the per-trial registry the executor provides when the
-    campaign is instrumented; the simulator publishes into it and the
-    executor merges the snapshots in trial order.
+    ``metrics`` / ``monitor`` are the per-trial registry and monitor the
+    executor provides when the campaign is instrumented; the simulator
+    publishes into them and the executor merges the snapshots in trial
+    order.
     """
     del gen
     cache = cache_factory() if cache_factory is not None else None
     sim = EventDrivenSimulator(
         params, distribution, cache=cache, seed=seed, metrics=metrics,
-        **simulator_kwargs
+        monitor=monitor, **simulator_kwargs
     )
     return sim.run(n_queries, trial=trial)
 
@@ -125,6 +127,7 @@ def run_event_campaign(
     workers: int = 1,
     metrics=None,
     tracer=None,
+    monitor=None,
     **simulator_kwargs,
 ) -> EventCampaign:
     """Run ``trials`` independent event-driven replays and aggregate.
@@ -153,6 +156,13 @@ def run_event_campaign(
     tracer:
         Optional :class:`repro.obs.Tracer`; records campaign-level
         wall-clock spans (``trials`` -> ``aggregate``) in this process.
+    monitor:
+        Optional :class:`repro.obs.LoadMonitor`.  Each trial runs under
+        a fresh per-trial monitor built from ``monitor.config`` (inside
+        the worker when parallel); window, alert and run-summary records
+        merge back here strictly in trial order, so the event log is
+        identical for every ``workers`` value.  The campaign emits the
+        single manifest record up front.
     simulator_kwargs:
         Forwarded to every :class:`EventDrivenSimulator` (routing,
         node_capacity, queue_limit, service, cluster...).
@@ -160,6 +170,16 @@ def run_event_campaign(
     if trials < 1:
         raise SimulationError(f"need at least one trial, got {trials}")
     tracer = as_tracer(tracer)
+    if monitor is not None and monitor.enabled:
+        monitor.emit_manifest(
+            engine="event-driven",
+            trials=trials,
+            n_queries=n_queries,
+            seed=seed,
+            distribution=distribution.name,
+            n=params.n,
+            rate=params.rate,
+        )
     with tracer.span("event-campaign"):
         with tracer.span("trials"):
             with ParallelExecutor(workers=workers) as executor:
@@ -174,6 +194,7 @@ def run_event_campaign(
                     ),
                     pass_trial=True,
                     metrics=metrics,
+                    monitor=monitor,
                 )
         with tracer.span("aggregate"):
             gains = np.array(

@@ -46,6 +46,10 @@ class SimulationConfig:
     tracer:
         Optional :class:`repro.obs.Tracer` for wall-clock phase spans;
         same exclusions as ``metrics``.
+    monitor:
+        Optional :class:`repro.obs.LoadMonitor` the campaigns feed
+        per-trial gain records into (``None`` = online monitoring off);
+        same exclusions as ``metrics``.
     """
 
     params: SystemParameters
@@ -57,6 +61,7 @@ class SimulationConfig:
     workers: int = 1
     metrics: Optional[object] = field(default=None, compare=False, repr=False)
     tracer: Optional[object] = field(default=None, compare=False, repr=False)
+    monitor: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.trials < 1:

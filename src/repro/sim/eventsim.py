@@ -11,8 +11,8 @@ load) within sampling noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -126,6 +126,13 @@ class EventDrivenSimulator:
     tracer:
         Optional :class:`repro.obs.Tracer` recording wall-clock phase
         spans (``workload-gen`` -> ``event-loop`` -> ``report``).
+    monitor:
+        Optional :class:`repro.obs.LoadMonitor`; each :meth:`run` feeds
+        it every request on the simulated clock (``begin_run`` ->
+        ``record_request`` per arrival -> ``finalize``), producing
+        sliding-window telemetry, the streaming gain estimate and
+        alerts.  Like ``metrics``, ``None`` records nothing and leaves
+        the run byte-identical to an unmonitored one.
     """
 
     def __init__(
@@ -141,6 +148,7 @@ class EventDrivenSimulator:
         seed: Optional[int] = None,
         metrics=None,
         tracer=None,
+        monitor=None,
     ) -> None:
         if distribution.m != params.m:
             raise ConfigurationError(
@@ -179,6 +187,7 @@ class EventDrivenSimulator:
         self._pin_counts = np.zeros(params.n, dtype=np.int64)
         self._metrics = metrics
         self._tracer = tracer
+        self._monitor = monitor if monitor is not None and monitor.enabled else None
 
     @property
     def cache(self) -> Cache:
@@ -275,16 +284,23 @@ class EventDrivenSimulator:
         frontend_hits = 0
         backend = 0
         node_arrivals = np.zeros(params.n, dtype=np.int64)
+        monitor = self._monitor
+        if monitor is not None:
+            monitor.begin_run(trial=trial, n=params.n, rate=params.rate)
 
         def make_arrival(key: int, t: float):
             def fire(sched: EventScheduler, now: float) -> None:
                 nonlocal frontend_hits, backend
                 if self._cache.access(int(key)):
                     frontend_hits += 1
+                    if monitor is not None:
+                        monitor.record_request(now, int(key))
                     return
                 backend += 1
                 node = self._route(int(key), servers, routing_gen)
                 node_arrivals[node] += 1
+                if monitor is not None:
+                    monitor.record_request(now, int(key), node)
                 servers[node].arrive(sched, Request(key=int(key), arrival_time=now))
 
             return fire
@@ -308,6 +324,8 @@ class EventDrivenSimulator:
                     n_queries, frontend_hits, backend,
                     node_arrivals, served, dropped, latencies,
                 )
+            if monitor is not None:
+                monitor.finalize(duration)
         return EventSimResult(
             duration=duration,
             frontend_hits=frontend_hits,

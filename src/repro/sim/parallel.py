@@ -39,6 +39,7 @@ import numpy as np
 
 from ..exceptions import SimulationError
 from ..obs.metrics import MetricsRegistry
+from ..obs.monitor import LoadMonitor, MonitorConfig
 from ..rng import RngFactory
 
 __all__ = ["ParallelExecutor", "resolve_workers", "resolve_seed"]
@@ -81,6 +82,7 @@ def _run_chunk(
     args: Tuple[Any, ...],
     kwargs: Mapping[str, Any],
     collect_metrics: bool = False,
+    monitor_config: Optional[MonitorConfig] = None,
 ) -> List[Any]:
     """Run a contiguous block of trials (top-level: spawn-picklable).
 
@@ -90,26 +92,41 @@ def _run_chunk(
 
     With ``collect_metrics`` the task receives a *fresh*
     :class:`~repro.obs.metrics.MetricsRegistry` per trial as a
-    ``metrics=`` keyword and each entry of the returned list becomes
-    ``(result, registry_snapshot)``; the caller merges snapshots in
-    trial order, which is what makes aggregate metrics identical across
-    worker counts.
+    ``metrics=`` keyword; with ``monitor_config`` it likewise receives a
+    fresh :class:`~repro.obs.monitor.LoadMonitor` (publishing into that
+    same per-trial registry) as a ``monitor=`` keyword.  When either
+    collection is active, each entry of the returned list becomes
+    ``(result, registry_snapshot_or_None, monitor_snapshot_or_None)``;
+    the caller merges snapshots in trial order, which is what makes
+    aggregate metrics *and* monitor output identical across worker
+    counts.
     """
     factory = RngFactory(seed)
+    collect = collect_metrics or monitor_config is not None
     results = []
     for t in trial_indices:
         gen = factory.generator(label, trial=t)
         call_kwargs = dict(kwargs)
         registry = None
+        monitor = None
         if collect_metrics:
             registry = MetricsRegistry()
             call_kwargs["metrics"] = registry
+        if monitor_config is not None:
+            monitor = LoadMonitor(monitor_config, metrics=registry)
+            call_kwargs["monitor"] = monitor
         if pass_trial:
             outcome = task(gen, t, *args, **call_kwargs)
         else:
             outcome = task(gen, *args, **call_kwargs)
-        if collect_metrics:
-            results.append((outcome, registry.snapshot()))
+        if collect:
+            results.append(
+                (
+                    outcome,
+                    registry.snapshot() if registry is not None else None,
+                    monitor.snapshot() if monitor is not None else None,
+                )
+            )
         else:
             results.append(outcome)
     return results
@@ -203,6 +220,7 @@ class ParallelExecutor:
         kwargs: Optional[Mapping[str, Any]] = None,
         pass_trial: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        monitor: Optional[LoadMonitor] = None,
     ) -> List[Any]:
         """Run ``task`` once per trial; results come back in trial order.
 
@@ -219,21 +237,33 @@ class ParallelExecutor:
         in.  Because the merge order is the trial order — never the
         completion order — the aggregate metric values are identical
         for every worker count.
+
+        With ``monitor`` set (an enabled
+        :class:`~repro.obs.monitor.LoadMonitor`), the task must accept a
+        ``monitor=`` keyword: each trial feeds a fresh per-trial monitor
+        built from ``monitor.config`` inside the worker, and the monitor
+        snapshots merge back via :meth:`LoadMonitor.merge_trial` — again
+        strictly in trial order, so event logs and alert streams are
+        identical for every worker count.
         """
         if trials < 1:
             raise SimulationError(f"need at least one trial, got {trials}")
         kwargs = dict(kwargs or {})
         seed = resolve_seed(seed)
-        # A disabled (null) registry records nothing, so skip the whole
-        # per-trial collection machinery for it as well.
-        collect = metrics is not None and metrics.enabled
+        # A disabled (null) registry/monitor records nothing, so skip
+        # the whole per-trial collection machinery for it as well.
+        collect_metrics = metrics is not None and metrics.enabled
+        collect_monitor = monitor is not None and monitor.enabled
+        monitor_config = monitor.config if collect_monitor else None
+        collect = collect_metrics or collect_monitor
         if self._workers == 1 or trials == 1:
             results = _run_chunk(
-                task, seed, label, range(trials), pass_trial, args, kwargs, collect
+                task, seed, label, range(trials), pass_trial, args, kwargs,
+                collect_metrics, monitor_config,
             )
         else:
             try:
-                pickle.dumps((task, args, kwargs))
+                pickle.dumps((task, args, kwargs, monitor_config))
             except Exception as exc:
                 raise SimulationError(
                     "parallel execution requires the task and its arguments to be "
@@ -244,7 +274,7 @@ class ParallelExecutor:
             futures = [
                 pool.submit(
                     _run_chunk, task, seed, label, list(chunk), pass_trial,
-                    args, kwargs, collect,
+                    args, kwargs, collect_metrics, monitor_config,
                 )
                 for chunk in self._chunks(trials)
             ]
@@ -254,7 +284,10 @@ class ParallelExecutor:
         if not collect:
             return results
         unwrapped: List[Any] = []
-        for outcome, snapshot in results:
-            metrics.merge_snapshot(snapshot)
+        for outcome, metrics_snapshot, monitor_snapshot in results:
+            if metrics_snapshot is not None:
+                metrics.merge_snapshot(metrics_snapshot)
+            if monitor_snapshot is not None:
+                monitor.merge_trial(monitor_snapshot)
             unwrapped.append(outcome)
         return unwrapped

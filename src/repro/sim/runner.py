@@ -24,6 +24,7 @@ def run_trials(
     executor: Optional[ParallelExecutor] = None,
     metrics=None,
     tracer=None,
+    monitor=None,
 ) -> LoadReport:
     """Run ``trial_fn`` under ``trials`` independent RNG streams.
 
@@ -62,6 +63,15 @@ def run_trials(
     tracer:
         Optional :class:`repro.obs.Tracer`; wall-clock spans for the
         trial fan-out and the aggregation step (this process only).
+    monitor:
+        Optional :class:`repro.obs.LoadMonitor`.  Each trial's load
+        vector becomes one trial-clock window record
+        (:meth:`~repro.obs.LoadMonitor.record_trial`) evaluated against
+        the alert rules; when the campaign metadata carries an ``x``
+        (the attack sweeps do), the Theorem-2 bound is refreshed per
+        call.  Recording happens in the parent over the trial-ordered
+        results, so monitor output is identical for every ``workers``
+        value.
     """
     if trials < 1:
         raise SimulationError(f"need at least one trial, got {trials}")
@@ -92,6 +102,13 @@ def run_trials(
             _record_campaign_metrics(metrics, label, vectors, normalized)
         meta = dict(metadata or {})
         meta.setdefault("seed", seed)
+        if monitor is not None and monitor.enabled:
+            def _as_int(value):
+                return int(value) if isinstance(value, (int, np.integer)) else None
+
+            x, c, d = _as_int(meta.get("x")), _as_int(meta.get("c")), _as_int(meta.get("d"))
+            for t, vector in enumerate(vectors):
+                monitor.record_trial(t, vector, campaign=label, x=x, c=c, d=d)
     return LoadReport(
         normalized_max_per_trial=normalized,
         total_rate=float(reference.total_rate),

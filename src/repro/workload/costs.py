@@ -22,7 +22,7 @@ should derate capacity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Tuple, Union
+from typing import Mapping, Tuple, Union
 
 import numpy as np
 

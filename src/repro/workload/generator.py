@@ -11,7 +11,7 @@ Two consumption styles:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Union
+from typing import Iterator, Union
 
 import numpy as np
 

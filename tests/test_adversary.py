@@ -60,26 +60,34 @@ class TestAdaptiveProbing:
     def test_finds_case_one_optimum_from_bound_feedback(self, paper_params):
         """Probing against the analytic bound recovers x = c + 1 without
         ever being told k."""
-        feedback = lambda dist: normalized_max_load_bound(paper_params, dist.x, k=1.2)
+        def feedback(dist):
+            return normalized_max_load_bound(paper_params, dist.x, k=1.2)
+
         adversary = AdaptiveProbingAdversary(paper_params, feedback, probes=10)
         best = adversary.probe()
         assert best == paper_params.c + 1
 
     def test_finds_case_two_optimum(self, paper_params):
         protected = paper_params.with_cache(2000)
-        feedback = lambda dist: normalized_max_load_bound(protected, dist.x, k=1.2)
+        def feedback(dist):
+            return normalized_max_load_bound(protected, dist.x, k=1.2)
+
         adversary = AdaptiveProbingAdversary(protected, feedback, probes=10)
         assert adversary.probe() == protected.m
 
     def test_history_recorded(self, paper_params):
-        feedback = lambda dist: float(dist.x)
+        def feedback(dist):
+            return float(dist.x)
+
         adversary = AdaptiveProbingAdversary(paper_params, feedback, probes=5)
         adversary.probe()
         assert len(adversary.history) >= 5
         assert all(gain == float(x) for x, gain in adversary.history)
 
     def test_distribution_triggers_probe(self, paper_params):
-        feedback = lambda dist: -abs(dist.x - 300)
+        def feedback(dist):
+            return -abs(dist.x - 300)
+
         adversary = AdaptiveProbingAdversary(paper_params, feedback, probes=8)
         dist = adversary.distribution()
         assert dist.x >= paper_params.c + 1

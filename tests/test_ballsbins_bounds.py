@@ -1,6 +1,5 @@
 """Tests for repro.ballsbins.bounds against the exact processes."""
 
-import numpy as np
 import pytest
 
 from repro.ballsbins.allocation import d_choice_allocate, one_choice_allocate

@@ -75,9 +75,10 @@ def test_bench_invariants_hold(smoke_payload):
         assert payload["wall_seconds"] > 0
         assert len(payload["columns"]["x"]) == len(payload["columns"]["drop_rate"])
     elif script == "bench_obs":
-        for section in ("monte_carlo", "eventsim"):
+        for section in ("monte_carlo", "eventsim", "monitor"):
             modes = payload[section]["modes"]
-            assert set(modes) == {"off", "null", "full"}
+            expected = {"off", "null", "live" if section == "monitor" else "full"}
+            assert set(modes) == expected
             # Instrumentation must never change a simulation result.
             assert all(row["identical_to_off"] for row in modes.values())
             assert all(row["wall_seconds"] > 0 for row in modes.values())

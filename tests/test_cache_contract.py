@@ -17,7 +17,6 @@ from repro.cache import (
     SieveCache,
     SLRUCache,
     TwoQCache,
-    make_cache,
 )
 
 from repro.cache.perfect import PerfectCache

@@ -66,12 +66,17 @@ class TestOptimalQueryCount:
 
     def test_is_a_local_maximum(self, paper_params):
         x_star = baseline.optimal_query_count(paper_params)
-        g = lambda x: baseline.normalized_max_load_bound(paper_params, x)
+
+        def g(x):
+            return baseline.normalized_max_load_bound(paper_params, x)
+
         assert g(x_star) >= g(x_star - 1) - 1e-9
         assert g(x_star) >= g(x_star + 1) - 1e-9
 
     def test_beats_coarse_grid(self, paper_params):
-        g = lambda x: baseline.normalized_max_load_bound(paper_params, x)
+        def g(x):
+            return baseline.normalized_max_load_bound(paper_params, x)
+
         best = g(baseline.optimal_query_count(paper_params))
         for x in (201, 500, 1000, 5000, 20_000, 100_000):
             assert best >= g(x) - 1e-9

@@ -7,7 +7,7 @@ import pytest
 from repro.cluster.selection import LeastLoadedKeyPinning, LeastUtilizedKeyPinning
 from repro.core.heterogeneous import audit_capacities, utilization_equalizing_bound
 from repro.core.notation import SystemParameters
-from repro.core.tradeoff import DefensePlan, ResourceCosts, plan_defense
+from repro.core.tradeoff import ResourceCosts, plan_defense
 from repro.exceptions import ConfigurationError
 
 

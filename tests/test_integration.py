@@ -16,12 +16,10 @@ from repro.core.cases import critical_cache_size, plan_best_attack
 from repro.core.notation import SystemParameters
 from repro.core.provisioning import recommend
 from repro.sim.analytic import (
-    MonteCarloSimulator,
     best_achievable_gain,
     simulate_distribution,
     simulate_uniform_attack,
 )
-from repro.sim.config import SimulationConfig
 from repro.sim.eventsim import EventDrivenSimulator
 from repro.analysis.critical_point import find_critical_cache_size
 

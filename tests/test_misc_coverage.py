@@ -9,7 +9,6 @@ from repro.exceptions import ConfigurationError
 from repro.sim.config import SimulationConfig
 from repro.sim.eventsim import EventDrivenSimulator
 from repro.workload.adversarial import AdversarialDistribution
-from repro.workload.distributions import UniformDistribution
 
 
 class TestSimulationConfig:

@@ -14,7 +14,6 @@ Three guarantees, each checked against the real engines:
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.cache.lru import LRUCache

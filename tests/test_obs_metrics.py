@@ -133,6 +133,24 @@ class TestHistogram:
         for q in (0.0, 0.5, 0.99, 1.0):
             assert histogram.quantile(q) == 3.7
 
+    def test_single_negative_observation_quantiles_exact(self):
+        # The count==1 early return must hand back the value itself,
+        # whatever its sign — not a bucket boundary or a falsy default.
+        histogram = Histogram("h")
+        histogram.observe(-2.5)
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.quantile(q) == -2.5
+
+    def test_extreme_quantiles_are_exact_min_max(self):
+        histogram = Histogram("h")
+        histogram.observe_many([0.3, 1.7, 42.0, 9000.0])
+        assert histogram.quantile(0.0) == 0.3
+        assert histogram.quantile(1.0) == 9000.0
+
+    def test_empty_percentiles_all_nan(self):
+        histogram = Histogram("h")
+        assert all(math.isnan(v) for v in histogram.percentiles().values())
+
     @given(
         values=st.lists(
             st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),

@@ -1,6 +1,5 @@
 """Tests for the discrete-event scheduler and the node queue model."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ConfigurationError, SimulationError

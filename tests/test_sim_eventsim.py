@@ -1,6 +1,5 @@
 """Tests for the request-level event-driven simulator."""
 
-import numpy as np
 import pytest
 
 from repro.cache.lru import LRUCache
