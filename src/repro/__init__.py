@@ -13,7 +13,9 @@ The package is organised bottom-up:
   bound, the case analysis and the O(n log log n / log d) cache-size
   result);
 - engines and measurement: :mod:`repro.sim`, :mod:`repro.analysis`,
-  :mod:`repro.obs` (deterministic metrics + phase tracing);
+  :mod:`repro.obs` (deterministic metrics + phase tracing),
+  :mod:`repro.chaos` (deterministic fault injection with failover and
+  degraded-bound tracking);
 - the evaluation: :mod:`repro.experiments` (one driver per figure) and
   the ``python -m repro`` CLI.
 
@@ -50,6 +52,7 @@ from .sim import (
     simulate_uniform_attack,
 )
 from .obs import MetricsRegistry, Tracer
+from .chaos import ChaosConfig, FailureSchedule, RetryPolicy
 from .types import LoadReport, LoadVector
 from .exceptions import ReproError
 
@@ -76,6 +79,9 @@ __all__ = [
     "best_achievable_gain",
     "MetricsRegistry",
     "Tracer",
+    "ChaosConfig",
+    "FailureSchedule",
+    "RetryPolicy",
     "LoadVector",
     "LoadReport",
     "ReproError",

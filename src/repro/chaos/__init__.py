@@ -1,0 +1,35 @@
+"""Fault injection for the live request path (chaos engineering).
+
+The paper's bound ``1 + (1 - c + n k)/(x - 1)`` carries
+``k = log log n / log d`` — it degrades exactly when replicas fail,
+because surviving keys lose choice (effective ``d`` shrinks) while the
+survivors absorb more load.  This package makes that failure mode a
+first-class, *deterministic* part of every simulation:
+
+- :mod:`~repro.chaos.schedule` — seeded or JSON-loaded crash / recover
+  / slow-node event schedules on the simulated clock, plus the live
+  :class:`~repro.chaos.schedule.NodeStateTracker`;
+- :mod:`~repro.chaos.retry` — the front end's failover loop (detection
+  timeout + capped exponential backoff across surviving replicas);
+- :mod:`~repro.chaos.config` — the :class:`~repro.chaos.config.ChaosConfig`
+  both engines accept (``chaos=None`` keeps them byte-identical to the
+  pre-chaos behaviour).
+
+The online monitor (:mod:`repro.obs.monitor`) closes the loop: chaos
+runs report per-window ``effective_d`` and a refreshed (degraded)
+Theorem-2 bound, and the ``degraded-bound`` alert fires whenever
+failures have shrunk the replication choice.  See docs/ROBUSTNESS.md.
+"""
+
+from .config import ChaosConfig
+from .retry import RetryPolicy
+from .schedule import EVENT_KINDS, FailureEvent, FailureSchedule, NodeStateTracker
+
+__all__ = [
+    "ChaosConfig",
+    "RetryPolicy",
+    "EVENT_KINDS",
+    "FailureEvent",
+    "FailureSchedule",
+    "NodeStateTracker",
+]

@@ -1,0 +1,84 @@
+"""Front-end failover: timeout, capped exponential backoff, retries.
+
+When a replica crashes, the front end in Figure 1 does not learn about
+it instantly — it dispatches, waits out a detection timeout, and only
+then fails over to another member of the key's replica group.  The
+:class:`RetryPolicy` captures that loop as plain data:
+
+- attempt 1 routes normally (whatever routing policy is configured);
+- a dead attempt costs ``timeout`` seconds, then the request is
+  redispatched to the first *untried, currently-up* member of the
+  replica group after a backoff delay of
+  ``min(backoff * multiplier**(attempt-1), max_backoff)``;
+- after ``max_attempts`` total tries (or when no untried replica is
+  up) the request is **unavailable** — counted, and optionally served
+  stale by the front-end cache (see
+  :class:`repro.chaos.config.ChaosConfig`).
+
+The policy is a frozen dataclass, so it is hashable, picklable and
+participates in configuration equality — chaos campaigns stay
+bit-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout + capped exponential backoff across surviving replicas.
+
+    Parameters
+    ----------
+    max_attempts:
+        Total dispatch attempts per request, the first included.  With
+        replication ``d`` there is no point exceeding ``d``; the engine
+        also stops early when every replica has been tried.
+    timeout:
+        Simulated seconds a dead dispatch costs before the front end
+        declares it failed (the failure-detection delay).
+    backoff:
+        Base backoff before the first retry (seconds).
+    multiplier:
+        Geometric growth factor applied per additional retry.
+    max_backoff:
+        Upper cap on any single backoff delay (seconds).
+    """
+
+    max_attempts: int = 3
+    timeout: float = 0.05
+    backoff: float = 0.01
+    multiplier: float = 2.0
+    max_backoff: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout < 0 or self.backoff < 0 or self.max_backoff < 0:
+            raise ConfigurationError(
+                "timeout, backoff and max_backoff must be >= 0"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Simulated delay between failed attempt ``attempt`` (1-based)
+        and the next dispatch: detection timeout plus capped backoff."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        return self.timeout + min(
+            self.backoff * self.multiplier ** (attempt - 1), self.max_backoff
+        )
+
+    def total_budget(self) -> float:
+        """Worst-case simulated seconds a request can spend retrying."""
+        return sum(self.delay(a) for a in range(1, self.max_attempts))

@@ -24,6 +24,12 @@ attaches the online :class:`~repro.obs.LoadMonitor`, ``--window`` sets
 the simulated-time window width, ``--events-out`` writes the structured
 JSONL event log, and ``--alerts`` prints alert records live as rules
 fire.
+
+Chaos flags (same commands): ``--chaos`` enables fault injection
+(``--failure-rate`` crashes/s per node, ``--mttr`` mean repair time,
+``--retry`` front-end failover attempts); ``--chaos-schedule PATH``
+replays an explicit JSON failure schedule instead of synthesising one
+per trial.  See docs/ROBUSTNESS.md.
 """
 
 from __future__ import annotations
@@ -104,6 +110,65 @@ def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
         "--alerts",
         action="store_true",
         help="print alert records live as monitor rules fire (implies --monitor)",
+    )
+
+
+def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject node failures: crash/repair processes per node, "
+        "front-end retry/failover, degraded-bound tracking "
+        "(see docs/ROBUSTNESS.md)",
+    )
+    parser.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.02,
+        metavar="RATE",
+        help="per-node crash intensity in crashes per simulated second "
+        "(default 0.02; implies --chaos semantics only when --chaos or "
+        "--chaos-schedule is given)",
+    )
+    parser.add_argument(
+        "--mttr",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="mean time to repair a crashed node (default 0.25s)",
+    )
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=3,
+        metavar="N",
+        help="front-end dispatch attempts per request before a key is "
+        "declared unavailable (default 3; event-driven replay only)",
+    )
+    parser.add_argument(
+        "--chaos-schedule",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="replay an explicit JSON failure schedule (implies --chaos; "
+        "overrides --failure-rate/--mttr)",
+    )
+
+
+def _chaos_config(args: argparse.Namespace):
+    """Build the ChaosConfig if any chaos flag was given."""
+    if not (getattr(args, "chaos", False) or getattr(args, "chaos_schedule", None)):
+        return None
+    from .chaos import ChaosConfig, FailureSchedule, RetryPolicy
+
+    schedule = None
+    if args.chaos_schedule:
+        schedule = FailureSchedule.from_json(args.chaos_schedule)
+    return ChaosConfig(
+        schedule=schedule,
+        failure_rate=args.failure_rate,
+        mttr=args.mttr,
+        retry=RetryPolicy(max_attempts=args.retry),
     )
 
 
@@ -197,6 +262,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         _add_metrics_flags(p)
         _add_monitor_flags(p)
+        _add_chaos_flags(p)
 
     prov = sub.add_parser("provision", help="cache-provisioning report")
     prov.add_argument("--nodes", "-n", type=int, required=True, help="back-end nodes n")
@@ -228,6 +294,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_flags(campaign)
     _add_monitor_flags(campaign)
+    _add_chaos_flags(campaign)
 
     replay = sub.add_parser(
         "replay",
@@ -263,6 +330,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_flags(replay)
     _add_monitor_flags(replay)
+    _add_chaos_flags(replay)
 
     cal = sub.add_parser("calibrate", help="measure the folded constant k empirically")
     cal.add_argument("--nodes", "-n", type=int, default=PAPER.n)
@@ -280,9 +348,12 @@ def _run_figure(args: argparse.Namespace) -> int:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
     metrics, tracer = _metrics_sinks(args)
     monitor = _monitor_sink(args)
+    chaos = _chaos_config(args)
+    if chaos is not None:
+        print(chaos.describe())
     result = _FIGURES[args.command](
         trials=trials, seed=args.seed, workers=args.workers,
-        metrics=metrics, tracer=tracer, monitor=monitor,
+        metrics=metrics, tracer=tracer, monitor=monitor, chaos=chaos,
     )
     print(result.render())
     _write_metrics(args, metrics, tracer)
@@ -319,9 +390,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
         trials = PAPER.trials if args.full else _QUICK_TRIALS
     metrics, tracer = _metrics_sinks(args)
     monitor = _monitor_sink(args)
+    chaos = _chaos_config(args)
+    if chaos is not None:
+        print(chaos.describe())
     campaign = run_campaign(
         trials=trials, seed=args.seed, progress=print, workers=args.workers,
-        metrics=metrics, tracer=tracer, monitor=monitor,
+        metrics=metrics, tracer=tracer, monitor=monitor, chaos=chaos,
     )
     report = campaign.render()
     print(report)
@@ -365,6 +439,9 @@ def _run_replay(args: argparse.Namespace) -> int:
         for k in ("n", "rate", "c", "d", "x", "k_prime")
     })
     monitor = base if base is not None else LoadMonitor(config)
+    chaos = _chaos_config(args)
+    if chaos is not None:
+        print(chaos.describe())
     campaign = run_event_campaign(
         params,
         distribution,
@@ -375,6 +452,7 @@ def _run_replay(args: argparse.Namespace) -> int:
         metrics=metrics,
         tracer=tracer,
         monitor=monitor,
+        chaos=chaos,
     )
     print(campaign.describe())
     _write_metrics(args, metrics, tracer)

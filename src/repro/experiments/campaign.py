@@ -69,6 +69,7 @@ def run_campaign(
     metrics=None,
     tracer=None,
     monitor=None,
+    chaos=None,
 ) -> CampaignResult:
     """Run the selected figures (default: all) and bundle the results.
 
@@ -95,6 +96,10 @@ def run_campaign(
         Optional :class:`repro.obs.LoadMonitor` shared by every figure;
         each sweep point's trials become trial-clock window records with
         the Theorem-2 bound attached where the sweep knows its ``x``.
+    chaos:
+        Optional :class:`repro.chaos.ChaosConfig` shared by every
+        figure: each trial is degraded at the failure process's
+        steady state (``None`` = healthy cluster, the paper's setting).
     """
     if figures is None:
         figures = list(FIGURE_DRIVERS)
@@ -111,7 +116,7 @@ def run_campaign(
         results.append(
             FIGURE_DRIVERS[figure](
                 trials=trials, seed=seed, workers=workers,
-                metrics=metrics, tracer=tracer, monitor=monitor,
+                metrics=metrics, tracer=tracer, monitor=monitor, chaos=chaos,
             )
         )
     return CampaignResult(

@@ -52,6 +52,7 @@ def run_fig3(
     metrics=None,
     tracer=None,
     monitor=None,
+    chaos=None,
 ) -> ExperimentResult:
     """Run one Figure-3 panel at the given cache size.
 
@@ -60,6 +61,9 @@ def run_fig3(
     ``bound_calib`` (same equation with the substrate-calibrated
     ``k = log log n / log d + k'``, which validly upper-bounds the
     simulation — see EXPERIMENTS.md on the constant discrepancy).
+    ``chaos`` (a :class:`repro.chaos.ChaosConfig`) degrades every trial
+    at the failure process's steady state; the bound columns stay the
+    healthy-system curves, so the gap shows what failures cost.
     """
     params = paper.system(c=cache_size)
     trials = paper.trials if trials is None else trials
@@ -69,6 +73,7 @@ def run_fig3(
         SimulationConfig(
             params=params, trials=trials, seed=seed, selection=selection,
             workers=workers, metrics=metrics, tracer=tracer, monitor=monitor,
+            chaos=chaos,
         )
     )
     span_tracer = as_tracer(tracer)
@@ -109,6 +114,7 @@ def run_fig3(
             "trials": trials,
             "k": paper.k,
             "selection": selection,
+            **({"chaos": chaos.describe()} if chaos is not None else {}),
         },
         notes=[
             f"curve is {trend} in x",
@@ -129,12 +135,13 @@ def run_fig3a(
     metrics=None,
     tracer=None,
     monitor=None,
+    chaos=None,
 ) -> ExperimentResult:
     """Figure 3(a): the small-cache panel (c = 200)."""
     return run_fig3(
         paper.c_small, paper=paper, trials=trials, seed=seed,
         x_values=x_values, name="fig3a", workers=workers,
-        metrics=metrics, tracer=tracer, monitor=monitor,
+        metrics=metrics, tracer=tracer, monitor=monitor, chaos=chaos,
     )
 
 
@@ -147,10 +154,11 @@ def run_fig3b(
     metrics=None,
     tracer=None,
     monitor=None,
+    chaos=None,
 ) -> ExperimentResult:
     """Figure 3(b): the large-cache panel (c = 2000)."""
     return run_fig3(
         paper.c_large, paper=paper, trials=trials, seed=seed,
         x_values=x_values, name="fig3b", workers=workers,
-        metrics=metrics, tracer=tracer, monitor=monitor,
+        metrics=metrics, tracer=tracer, monitor=monitor, chaos=chaos,
     )

@@ -47,12 +47,15 @@ def run_fig4(
     metrics=None,
     tracer=None,
     monitor=None,
+    chaos=None,
 ) -> ExperimentResult:
     """Run the Figure-4 sweep.
 
     Returns columns: ``n``, ``uniform``, ``zipf``, ``adversarial`` —
     each the max-over-trials normalized maximum load.  ``m`` can shrink
     the key space for quick runs (the uniform/Zipf points scale with m).
+    ``chaos`` degrades every trial at the failure process's steady state
+    (see :class:`repro.chaos.ChaosConfig`).
     """
     c = paper.c_fig4 if cache_size is None else cache_size
     trials = paper.trials if trials is None else trials
@@ -68,6 +71,7 @@ def run_fig4(
             SimulationConfig(
                 params=params, trials=trials, seed=seed, selection=selection,
                 workers=workers, metrics=metrics, tracer=tracer, monitor=monitor,
+                chaos=chaos,
             )
         )
         patterns = {
@@ -112,6 +116,7 @@ def run_fig4(
             "k": paper.k,
             "zipf_s": paper.zipf_s,
             "selection": selection,
+            **({"chaos": chaos.describe()} if chaos is not None else {}),
         },
         notes=notes,
     )

@@ -50,12 +50,16 @@ def run_fig5(
     metrics=None,
     tracer=None,
     monitor=None,
+    chaos=None,
 ) -> ExperimentResult:
     """The joint Figure-5 sweep.
 
     Returns columns: ``c``, ``best_gain`` (panel a), ``x_queried``
     (panel b), ``effective``.  The analytic critical point and the
-    empirical crossing are recorded in the notes.
+    empirical crossing are recorded in the notes.  ``chaos`` degrades
+    every trial at the failure process's steady state (see
+    :class:`repro.chaos.ChaosConfig`), shifting the empirical critical
+    point upward relative to the healthy analytic one.
     """
     trials = paper.trials if trials is None else trials
     if cache_values is None:
@@ -67,6 +71,7 @@ def run_fig5(
             SimulationConfig(
                 params=params, trials=trials, seed=seed, selection=selection,
                 workers=workers, metrics=metrics, tracer=tracer, monitor=monitor,
+                chaos=chaos,
             )
         )
         gain, x, _ = sim.best_achievable()
@@ -112,6 +117,7 @@ def run_fig5(
             "trials": trials,
             "k": paper.k,
             "selection": selection,
+            **({"chaos": chaos.describe()} if chaos is not None else {}),
         },
         notes=notes,
     )

@@ -1,6 +1,6 @@
 """Rule-based alerting over window snapshots.
 
-Three built-in rules, mirroring what the paper's quantities make
+Four built-in rules, mirroring what the paper's quantities make
 checkable online:
 
 - ``gain-over-bound`` — the running attack gain ``L_max / (R/n)``
@@ -15,6 +15,12 @@ checkable online:
   exceeded ``overload_factor * R/n``.  The default factor 4.0 matches
   the event engine's default per-node capacity headroom, so a firing
   means a node was pushed past what the default provisioning serves.
+- ``degraded-bound`` — failures shrank the window's effective
+  replication choice below the configured ``d`` (chaos runs only: the
+  window carries ``effective_d`` when fault injection is active).  The
+  Theorem-2 constant ``k = log log n / log d`` grows as ``d`` shrinks,
+  so each firing comes with a refreshed, *larger* bound in the window's
+  ``degraded_bound`` field.
 
 Rules are pure functions of a window snapshot plus the monitor
 configuration, so alert streams are deterministic and identical across
@@ -85,7 +91,17 @@ def _node_overload(snapshot: dict, config) -> Optional[Tuple[float, float]]:
     return None
 
 
-#: Name -> rule for the three built-ins.
+def _degraded_bound(snapshot: dict, config) -> Optional[Tuple[float, float]]:
+    effective_d = snapshot.get("effective_d")
+    d = getattr(config, "d", None)
+    if effective_d is None or d is None:
+        return None
+    if effective_d < d:
+        return float(effective_d), float(d)
+    return None
+
+
+#: Name -> rule for the built-ins.
 BUILTIN_RULES: Dict[str, AlertRule] = {
     rule.name: rule
     for rule in (
@@ -103,6 +119,11 @@ BUILTIN_RULES: Dict[str, AlertRule] = {
             "node-overload",
             _node_overload,
             "a node's offered window rate exceeded overload_factor * R/n",
+        ),
+        AlertRule(
+            "degraded-bound",
+            _degraded_bound,
+            "failures shrank the effective replication choice below d",
         ),
     )
 }

@@ -21,11 +21,13 @@ from typing import Iterator, List, Union
 __all__ = ["SCHEMA_VERSION", "EventLog"]
 
 #: Version stamp written into every manifest record.  Bump when a record
-#: family gains/loses/renames fields.
-SCHEMA_VERSION = 1
+#: family gains/loses/renames fields.  v2: chaos runs add a
+#: ``node-event`` family and chaos-only window/summary fields
+#: (``unavailable``, ``nodes_down``, ``effective_d``, ``degraded_bound``).
+SCHEMA_VERSION = 2
 
 #: Record families the log accepts.
-RECORD_TYPES = ("manifest", "window", "alert", "run-summary")
+RECORD_TYPES = ("manifest", "window", "alert", "run-summary", "node-event")
 
 
 class EventLog:

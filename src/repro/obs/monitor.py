@@ -15,7 +15,14 @@ End-of-run observability (PR 2) answers "what happened"; the
   manifest, one record per non-empty window, one record per alert, one
   run summary;
 - a **rule-based alert engine** (:mod:`repro.obs.alerts`) whose
-  firings land in the event log *and* the metrics registry.
+  firings land in the event log *and* the metrics registry;
+- **degraded-bound tracking** (chaos runs): node up/down transitions
+  from the fault injector (:mod:`repro.chaos`) feed per-window
+  ``effective_d`` — the mean surviving replication choice — and a
+  refreshed Theorem-2 bound computed with
+  ``k_eff = log log n / log d_eff + k'``, which *grows* as failures
+  shrink ``d_eff``; the ``degraded-bound`` alert fires whenever
+  ``effective_d < d``.
 
 Everything the monitor derives is keyed by simulated time (or trial
 index), never wall clock, so monitor output is bit-identical across
@@ -35,8 +42,9 @@ Two ingestion paths share one monitor type:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Set, Tuple
 
 import numpy as np
 
@@ -110,7 +118,9 @@ class MonitorConfig:
     entropy_threshold: float = FLATNESS_THRESHOLD
     entropy_min_keys: int = 10
     overload_factor: float = 4.0
-    rules: Tuple[str, ...] = ("gain-over-bound", "entropy-flat", "node-overload")
+    rules: Tuple[str, ...] = (
+        "gain-over-bound", "entropy-flat", "node-overload", "degraded-bound"
+    )
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -167,6 +177,39 @@ class MonitorConfig:
             k = fold_constant_k(n, d, self.k_prime)
         return 1.0 + (1.0 - c + n * k) / (x - 1)
 
+    def degraded_bound_for(
+        self,
+        x: Optional[int],
+        effective_d: Optional[float],
+        n: Optional[int] = None,
+        c: Optional[int] = None,
+    ) -> Optional[float]:
+        """Theorem-2 bound refreshed for a degraded replication choice.
+
+        Failures shrink the mean surviving choice to ``effective_d < d``;
+        the bound's constant becomes
+        ``k_eff = log log n / log d_eff + k'``, which grows as ``d_eff``
+        shrinks — the degraded bound is always at least the healthy one.
+        Returns ``None`` when no bound is computable: missing ``x``/``n``,
+        ``x`` inside the cache, or ``effective_d <= 1`` (with one or
+        fewer surviving replicas per key the d-choice theory gives no
+        bound at all — total failure, not degradation).
+
+        Always computed from ``k_prime`` (never the explicit ``k`` or
+        ``bound`` overrides, which cannot be re-folded for a different
+        ``d``), matching :func:`repro.core.bounds.fold_constant_k` with
+        its small-``n`` clamp.
+        """
+        if effective_d is None or effective_d <= 1.0:
+            return None
+        n = self.n if n is None else n
+        c = self.c if c is None else c
+        if x is None or x < 2 or x <= c or n is None:
+            return None
+        excess = 0.0 if n <= math.e else math.log(math.log(n)) / math.log(effective_d)
+        k_eff = excess + self.k_prime
+        return 1.0 + (1.0 - c + n * k_eff) / (x - 1)
+
     def to_dict(self) -> dict:
         """JSON-able form for the manifest record."""
         return {
@@ -189,12 +232,19 @@ class MonitorConfig:
 class _RuleContext:
     """The slice of monitor state the alert rules read."""
 
-    __slots__ = ("entropy_threshold", "entropy_min_keys", "overload_factor", "_even")
+    __slots__ = ("entropy_threshold", "entropy_min_keys", "overload_factor",
+                 "d", "_even")
 
-    def __init__(self, config: MonitorConfig, even_split: Optional[float]) -> None:
+    def __init__(
+        self,
+        config: MonitorConfig,
+        even_split: Optional[float],
+        d: Optional[int] = None,
+    ) -> None:
         self.entropy_threshold = config.entropy_threshold
         self.entropy_min_keys = config.entropy_min_keys
         self.overload_factor = config.overload_factor
+        self.d = config.d if d is None else d
         self._even = even_split
 
     def even_split(self) -> Optional[float]:
@@ -262,6 +312,12 @@ class LoadMonitor:
         self._cum_backend = 0
         self._run_windows = 0
         self._run_alerts = 0
+        # Chaos (fault-injection) state; inert unless begin_run(chaos=True).
+        self._chaos_run = False
+        self._down_nodes: Set[int] = set()
+        self._win_max_down = 0
+        self._cum_unavailable = 0
+        self._min_effective_d: Optional[float] = None
 
     # -- introspection -----------------------------------------------------
 
@@ -332,12 +388,21 @@ class LoadMonitor:
     # -- event path --------------------------------------------------------
 
     def begin_run(
-        self, trial: int = 0, n: Optional[int] = None, rate: Optional[float] = None
+        self,
+        trial: int = 0,
+        n: Optional[int] = None,
+        rate: Optional[float] = None,
+        chaos: bool = False,
     ) -> None:
         """Start (or restart) ingesting one event-driven run.
 
         ``n`` and ``rate`` fall back to the config; the event engine
         always passes its own, so a bare ``MonitorConfig()`` works.
+        ``chaos=True`` (set by the engine when fault injection is
+        active) enables degraded-bound tracking: window snapshots and
+        the run summary gain ``unavailable`` / ``nodes_down`` /
+        ``effective_d`` / ``degraded_bound`` fields.  The default keeps
+        every record byte-identical to a chaos-free monitor.
         """
         if self._run_open:
             raise ConfigurationError(
@@ -362,6 +427,22 @@ class LoadMonitor:
         self._cum_backend = 0
         self._run_windows = 0
         self._run_alerts = 0
+        self._chaos_run = bool(chaos)
+        self._down_nodes = set()
+        self._win_max_down = 0
+        self._cum_unavailable = 0
+        self._min_effective_d = None
+
+    def _window_at(self, t: float) -> WindowAccumulator:
+        """The accumulator covering ``t``, closing the previous window."""
+        acc = self._acc
+        index = int(t // self._config.window)
+        if acc is None:
+            acc = self._acc = WindowAccumulator(index, self._config.window, self._n)
+        elif index != acc.index:
+            self._close_window()
+            acc = self._acc = WindowAccumulator(index, self._config.window, self._n)
+        return acc
 
     def record_request(self, t: float, key: int, node: Optional[int] = None) -> None:
         """Ingest one request at simulated time ``t``.
@@ -371,13 +452,7 @@ class LoadMonitor:
         must arrive in non-decreasing ``t`` (the event scheduler's
         order).
         """
-        acc = self._acc
-        index = int(t // self._config.window)
-        if acc is None:
-            acc = self._acc = WindowAccumulator(index, self._config.window, self._n)
-        elif index != acc.index:
-            self._close_window()
-            acc = self._acc = WindowAccumulator(index, self._config.window, self._n)
+        acc = self._window_at(t)
         acc.record(key, node)
         self._cum_requests += 1
         if node is None:
@@ -385,6 +460,39 @@ class LoadMonitor:
         else:
             self._cum_backend += 1
             self._cum_nodes[node] += 1
+
+    def record_node_event(self, t: float, node: int, up: bool) -> None:
+        """Ingest one fault-injector transition (chaos runs only).
+
+        Keeps the live down-set (and the window's worst case) that
+        per-window ``effective_d`` derives from, and emits a
+        ``node-event`` record so incident timelines survive into the
+        event log.
+        """
+        node = int(node)
+        if up:
+            self._down_nodes.discard(node)
+        else:
+            self._down_nodes.add(node)
+            self._win_max_down = max(self._win_max_down, len(self._down_nodes))
+        self._events.emit(
+            {
+                "type": "node-event",
+                "trial": self._trial,
+                "t": t,
+                "node": node,
+                "up": bool(up),
+                "nodes_down": len(self._down_nodes),
+            }
+        )
+        self._metrics.counter("monitor_node_events_total").inc()
+
+    def record_unavailable(self, t: float, key: int) -> None:
+        """Ingest one request whose every replica was down at ``t``."""
+        del key  # counted, not profiled — entropy tracks served traffic
+        acc = self._window_at(t)
+        acc.unavailable += 1
+        self._cum_unavailable += 1
 
     def finalize(self, duration: float) -> Optional[dict]:
         """Close the open window and emit the run summary.
@@ -409,6 +517,12 @@ class LoadMonitor:
             "windows": self._run_windows,
             "alerts": self._run_alerts,
         }
+        if self._chaos_run:
+            summary["unavailable"] = self._cum_unavailable
+            summary["effective_d_min"] = self._min_effective_d
+            summary["degraded_bound"] = self._config.degraded_bound_for(
+                self._config.x, self._min_effective_d, n=self._n
+            )
         self._events.emit(summary)
         self._summaries.append(summary)
         if gain is not None:
@@ -426,6 +540,17 @@ class LoadMonitor:
         max_rate = float(self._cum_nodes.max()) / t
         return max_rate / (self._rate / self._n)
 
+    def _effective_d(self, nodes_down: int) -> float:
+        """Mean surviving replicas per key: ``d * (1 - down fraction)``.
+
+        With a fraction ``f`` of nodes down, each key's ``d`` replicas
+        survive independently with probability ``1 - f`` (random
+        partitioning places them uniformly), so the expected surviving
+        choice is ``d (1 - f)`` — the quantity Theorem 2's constant
+        ``k = log log n / log d`` degrades through.
+        """
+        return self._config.d * (1.0 - nodes_down / self._n)
+
     def _close_window(self, final_t: Optional[float] = None) -> None:
         acc = self._acc
         self._acc = None
@@ -434,6 +559,20 @@ class LoadMonitor:
         snapshot = acc.to_snapshot(self._trial, t_end=final_t)
         snapshot["running_gain"] = self._running_gain(snapshot["t_end"])
         snapshot["bound"] = self._bound
+        if self._chaos_run:
+            # Worst case over the window: transitions since the last
+            # close, or the standing down-set if nothing changed.
+            nodes_down = max(self._win_max_down, len(self._down_nodes))
+            self._win_max_down = len(self._down_nodes)
+            effective_d = self._effective_d(nodes_down)
+            snapshot["unavailable"] = acc.unavailable
+            snapshot["nodes_down"] = nodes_down
+            snapshot["effective_d"] = effective_d
+            snapshot["degraded_bound"] = self._config.degraded_bound_for(
+                self._config.x, effective_d, n=self._n
+            )
+            if self._min_effective_d is None or effective_d < self._min_effective_d:
+                self._min_effective_d = effective_d
         seconds = snapshot["seconds"]
         if seconds > 0:
             even = self._rate / self._n
@@ -458,13 +597,15 @@ class LoadMonitor:
         x: Optional[int] = None,
         c: Optional[int] = None,
         d: Optional[int] = None,
+        effective_d: Optional[float] = None,
     ) -> dict:
         """Ingest one Monte-Carlo trial's :class:`~repro.types.LoadVector`.
 
         Each trial becomes one trial-clock window record; ``x`` (the
         sweep point's attack width) and ``c``/``d`` (its system shape),
         when the campaign knows them, refresh the Theorem-2 bound per
-        call.
+        call.  ``effective_d`` (set by chaos-enabled Monte-Carlo trials)
+        adds degraded-bound fields and arms the ``degraded-bound`` rule.
         """
         gain = vector.normalized_max
         bound = self._config.bound_for(
@@ -481,8 +622,14 @@ class LoadMonitor:
             "max_load": vector.max_load,
             "bound": bound,
         }
+        if effective_d is not None:
+            snapshot["effective_d"] = float(effective_d)
+            snapshot["degraded_bound"] = self._config.degraded_bound_for(
+                x if x is not None else self._config.x,
+                effective_d, n=vector.n_nodes, c=c,
+            )
         even = vector.total_rate / vector.n_nodes if vector.total_rate else None
-        context = _RuleContext(self._config, even)
+        context = _RuleContext(self._config, even, d=d)
         fired = self._engine.evaluate(snapshot, context)
         snapshot["alerts"] = [alert["rule"] for alert in fired]
         self._emit_window(snapshot)
@@ -599,16 +746,24 @@ class NullMonitor(LoadMonitor):
     def emit_manifest(self, **extra) -> Optional[dict]:
         return None
 
-    def begin_run(self, trial: int = 0, n=None, rate=None) -> None:
+    def begin_run(self, trial: int = 0, n=None, rate=None, chaos=False) -> None:
         pass
 
     def record_request(self, t, key, node=None) -> None:
         pass
 
+    def record_node_event(self, t, node, up) -> None:
+        pass
+
+    def record_unavailable(self, t, key) -> None:
+        pass
+
     def finalize(self, duration) -> Optional[dict]:
         return None
 
-    def record_trial(self, trial, vector, campaign=None, x=None, c=None, d=None) -> dict:
+    def record_trial(
+        self, trial, vector, campaign=None, x=None, c=None, d=None, effective_d=None
+    ) -> dict:
         return {}
 
     def merge_trial(self, snapshot) -> None:

@@ -115,7 +115,7 @@ class WindowAccumulator:
     """
 
     __slots__ = ("index", "width", "requests", "hits", "backend",
-                 "node_counts", "entropy")
+                 "node_counts", "entropy", "unavailable")
 
     def __init__(self, index: int, width: float, n_nodes: int) -> None:
         self.index = index
@@ -125,6 +125,11 @@ class WindowAccumulator:
         self.backend = 0
         self.node_counts = np.zeros(n_nodes, dtype=np.int64)
         self.entropy = StreamingEntropy()
+        # Chaos-only counter (repro.chaos): requests whose every replica
+        # was down.  Deliberately NOT part of to_snapshot() — the monitor
+        # appends it for chaos runs only, keeping chaos-off snapshots
+        # byte-identical to the pre-chaos schema.
+        self.unavailable = 0
 
     @property
     def t_start(self) -> float:

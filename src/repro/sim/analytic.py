@@ -20,6 +20,7 @@ from typing import Optional, Tuple
 import numpy as np
 
 from ..ballsbins.allocation import sample_replica_groups
+from ..cluster.failures import degrade_groups, sample_failures
 from ..cluster.selection import make_selection_policy
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError, SimulationError
@@ -48,6 +49,12 @@ class MonteCarloSimulator:
     def __init__(self, config: SimulationConfig) -> None:
         self._config = config
         self._selection = make_selection_policy(config.selection)
+        if config.chaos is not None and config.selection != "least-loaded":
+            raise ConfigurationError(
+                "chaos-enabled Monte-Carlo trials re-pin keys over surviving "
+                "replicas with the least-loaded rule; "
+                f"selection={config.selection!r} is not supported with chaos"
+            )
 
     @property
     def config(self) -> SimulationConfig:
@@ -77,8 +84,30 @@ class MonteCarloSimulator:
         with tracer.span("partition"):
             groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
         with tracer.span("allocation"):
-            loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
+            loads = self._node_loads(groups, rates, gen)
         return LoadVector(loads=loads, total_rate=params.rate)
+
+    def _node_loads(
+        self, groups: np.ndarray, rates: np.ndarray, gen: np.random.Generator
+    ) -> np.ndarray:
+        """Place keys on nodes, degrading groups first when chaos is on.
+
+        The chaos path samples a failure set of the renewal process's
+        steady-state size from the *trial's own* generator (so chaos
+        campaigns stay bit-identical across worker counts), strips the
+        failed nodes from every replica group, and re-runs the greedy
+        least-loaded placement over the survivors — unavailable keys
+        contribute no load, surviving keys concentrate on fewer nodes.
+        """
+        params = self._config.params
+        chaos = self._config.chaos
+        if chaos is None:
+            return self._selection.node_loads(groups, rates, params.n, rng=gen)
+        failed = sample_failures(
+            params.n, chaos.steady_state_failed_fraction, rng=gen
+        )
+        degraded = degrade_groups(groups, failed, params.n)
+        return degraded.least_loaded_loads(rates, params.n)
 
     def uniform_attack(self, x: int) -> LoadReport:
         """Multi-trial x-key uniform attack; the unit of Figs. 3 and 5.
@@ -92,7 +121,10 @@ class MonteCarloSimulator:
             trials=cfg.trials,
             seed=cfg.seed,
             label=f"uniform-attack-x{x}",
-            metadata={"x": x, "selection": cfg.selection, **_param_meta(cfg.params)},
+            metadata={
+                "x": x, "selection": cfg.selection,
+                **_param_meta(cfg.params), **_chaos_meta(cfg),
+            },
             workers=cfg.workers,
             metrics=cfg.metrics,
             tracer=cfg.tracer,
@@ -141,7 +173,7 @@ class MonteCarloSimulator:
         with tracer.span("partition"):
             groups = sample_replica_groups(balls, params.n, params.d, rng=gen)
         with tracer.span("allocation"):
-            loads = self._selection.node_loads(groups, rates, params.n, rng=gen)
+            loads = self._node_loads(groups, rates, gen)
         return LoadVector(loads=loads, total_rate=params.rate)
 
     def distribution_attack(self, distribution: KeyDistribution) -> LoadReport:
@@ -156,6 +188,7 @@ class MonteCarloSimulator:
                 "distribution": distribution.name,
                 "selection": cfg.selection,
                 **_param_meta(cfg.params),
+                **_chaos_meta(cfg),
             },
             workers=cfg.workers,
             metrics=cfg.metrics,
@@ -190,6 +223,22 @@ class MonteCarloSimulator:
 
 def _param_meta(params: SystemParameters) -> dict:
     return {"n": params.n, "m": params.m, "c": params.c, "d": params.d}
+
+
+def _chaos_meta(cfg: SimulationConfig) -> dict:
+    """Chaos provenance for a campaign's report metadata.
+
+    ``effective_d`` is the steady-state mean surviving choice
+    ``d * (1 - f)``; :func:`repro.sim.runner.run_trials` forwards it to
+    the monitor so chaos campaigns get degraded-bound tracking too.
+    """
+    if cfg.chaos is None:
+        return {}
+    fraction = cfg.chaos.steady_state_failed_fraction
+    return {
+        "failed_fraction": fraction,
+        "effective_d": cfg.params.d * (1.0 - fraction),
+    }
 
 
 def _uniform_attack_trial_task(

@@ -69,19 +69,37 @@ class EventCampaign:
         finite = [v for v in values if v == v]
         return float(np.max(finite)) if finite else float("nan")
 
+    @property
+    def total_failure_events(self) -> int:
+        """Fault-injection events applied across all trials (0 = no chaos)."""
+        return int(sum(r.failure_events for r in self.results))
+
+    @property
+    def total_unavailable(self) -> int:
+        """Requests across all trials whose every replica was down."""
+        return int(sum(r.unavailable for r in self.results))
+
     def describe(self) -> str:
         """Multi-line campaign summary."""
-        return "\n".join(
-            [
-                f"{self.trials} event-driven trials",
-                f"normalized max load: worst {self.load_report.worst_case:.3f}, "
-                f"mean {self.load_report.mean:.3f}",
-                f"cache hit rate (mean): {self.mean_hit_rate:.3f}",
-                f"drop rate: mean {self.mean_drop_rate:.4f}, "
-                f"worst {self.worst_drop_rate:.4f}",
-                f"worst p99 latency: {self.worst_p99_latency * 1e3:.2f} ms",
-            ]
-        )
+        lines = [
+            f"{self.trials} event-driven trials",
+            f"normalized max load: worst {self.load_report.worst_case:.3f}, "
+            f"mean {self.load_report.mean:.3f}",
+            f"cache hit rate (mean): {self.mean_hit_rate:.3f}",
+            f"drop rate: mean {self.mean_drop_rate:.4f}, "
+            f"worst {self.worst_drop_rate:.4f}",
+            f"worst p99 latency: {self.worst_p99_latency * 1e3:.2f} ms",
+        ]
+        if self.total_failure_events:
+            retries = sum(r.retries for r in self.results)
+            failovers = sum(r.failovers for r in self.results)
+            stale = sum(r.stale_hits for r in self.results)
+            lines.append(
+                f"chaos: {self.total_failure_events} failure events, "
+                f"{retries} retries ({failovers} failovers), "
+                f"{self.total_unavailable} unavailable ({stale} served stale)"
+            )
+        return "\n".join(lines)
 
 
 def _event_campaign_trial(

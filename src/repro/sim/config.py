@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..chaos.config import ChaosConfig
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError
 
@@ -50,6 +51,15 @@ class SimulationConfig:
         Optional :class:`repro.obs.LoadMonitor` the campaigns feed
         per-trial gain records into (``None`` = online monitoring off);
         same exclusions as ``metrics``.
+    chaos:
+        Optional :class:`repro.chaos.ChaosConfig`.  The Monte-Carlo
+        engine has no clock, so it applies the process's *steady-state*
+        down fraction per trial: a failure set is sampled from the
+        trial's own stream, replica groups are degraded, and the
+        placement re-runs over the survivors.  Unlike the observability
+        sinks this IS part of the configuration identity (it changes
+        results), so it participates in equality.  ``None`` keeps every
+        trial byte-identical to the pre-chaos engine.
     """
 
     params: SystemParameters
@@ -62,6 +72,7 @@ class SimulationConfig:
     metrics: Optional[object] = field(default=None, compare=False, repr=False)
     tracer: Optional[object] = field(default=None, compare=False, repr=False)
     monitor: Optional[object] = field(default=None, compare=False, repr=False)
+    chaos: Optional[ChaosConfig] = None
 
     def __post_init__(self) -> None:
         if self.trials < 1:
@@ -73,6 +84,10 @@ class SimulationConfig:
         if self.workers < 0:
             raise ConfigurationError(
                 f"workers must be >= 0 (0 = all CPUs), got {self.workers}"
+            )
+        if self.chaos is not None and not isinstance(self.chaos, ChaosConfig):
+            raise ConfigurationError(
+                f"chaos must be a ChaosConfig or None, got {type(self.chaos).__name__}"
             )
 
     def with_workers(self, workers: int) -> "SimulationConfig":

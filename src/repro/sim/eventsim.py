@@ -12,12 +12,14 @@ load) within sampling noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
 from ..cache.base import Cache
 from ..cache.perfect import PerfectCache
+from ..chaos.config import ChaosConfig
+from ..chaos.schedule import NodeStateTracker
 from ..cluster.cluster import Cluster
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError, SimulationError
@@ -56,6 +58,18 @@ class EventSimResult:
         served).
     cache_hit_rate:
         Front-end hit fraction over the run.
+    unavailable, stale_hits:
+        Fault-injection outcomes (always 0 without ``chaos``): requests
+        whose every replica was down when retries ran out, and the
+        subset the front end answered stale.
+    retries, failovers:
+        Redispatch attempts scheduled by the retry policy, and the ones
+        that landed on a surviving replica.
+    crash_lost:
+        Requests lost from node queues at crash instants (a subset of
+        ``dropped``).
+    failure_events:
+        Schedule events applied during the run (0 without ``chaos``).
     """
 
     duration: float
@@ -71,22 +85,35 @@ class EventSimResult:
     latency_p95: float
     latency_p99: float
     cache_hit_rate: float
+    unavailable: int = 0
+    stale_hits: int = 0
+    retries: int = 0
+    failovers: int = 0
+    crash_lost: int = 0
+    failure_events: int = 0
 
     def describe(self) -> str:
         """Human-readable summary block."""
-        return "\n".join(
-            [
-                f"duration {self.duration:.3f}s, cache hit rate {self.cache_hit_rate:.3f}",
-                f"back-end queries {self.backend_queries}, drop rate {self.drop_rate:.4f}",
-                f"normalized max offered load {self.normalized_max:.3f}",
-                (
-                    f"latency mean {self.latency_mean*1e3:.2f}ms, "
-                    f"p50 {self.latency_p50*1e3:.2f}ms, "
-                    f"p95 {self.latency_p95*1e3:.2f}ms, "
-                    f"p99 {self.latency_p99*1e3:.2f}ms"
-                ),
-            ]
-        )
+        lines = [
+            f"duration {self.duration:.3f}s, cache hit rate {self.cache_hit_rate:.3f}",
+            f"back-end queries {self.backend_queries}, drop rate {self.drop_rate:.4f}",
+            f"normalized max offered load {self.normalized_max:.3f}",
+            (
+                f"latency mean {self.latency_mean*1e3:.2f}ms, "
+                f"p50 {self.latency_p50*1e3:.2f}ms, "
+                f"p95 {self.latency_p95*1e3:.2f}ms, "
+                f"p99 {self.latency_p99*1e3:.2f}ms"
+            ),
+        ]
+        if self.failure_events:
+            lines.append(
+                f"chaos: {self.failure_events} failure events, "
+                f"{self.retries} retries ({self.failovers} failovers), "
+                f"{self.unavailable} unavailable "
+                f"({self.stale_hits} served stale), "
+                f"{self.crash_lost} lost to crashes"
+            )
+        return "\n".join(lines)
 
 
 class EventDrivenSimulator:
@@ -133,6 +160,16 @@ class EventDrivenSimulator:
         sliding-window telemetry, the streaming gain estimate and
         alerts.  Like ``metrics``, ``None`` records nothing and leaves
         the run byte-identical to an unmonitored one.
+    chaos:
+        Optional :class:`repro.chaos.ChaosConfig`.  When set, each run
+        replays a failure schedule (explicit, or synthesised per trial
+        from the ``(seed, trial)`` stream): crashed nodes lose their
+        queues and reject traffic, the front end fails over across
+        surviving replicas under the config's
+        :class:`~repro.chaos.RetryPolicy`, and requests with no
+        surviving replica are counted unavailable (optionally served
+        stale).  ``None`` keeps the run byte-identical to the pre-chaos
+        engine — the default-off contract the observability sinks keep.
     """
 
     def __init__(
@@ -149,6 +186,7 @@ class EventDrivenSimulator:
         metrics=None,
         tracer=None,
         monitor=None,
+        chaos: Optional[ChaosConfig] = None,
     ) -> None:
         if distribution.m != params.m:
             raise ConfigurationError(
@@ -188,6 +226,11 @@ class EventDrivenSimulator:
         self._metrics = metrics
         self._tracer = tracer
         self._monitor = monitor if monitor is not None and monitor.enabled else None
+        if chaos is not None and not isinstance(chaos, ChaosConfig):
+            raise ConfigurationError(
+                f"chaos must be a ChaosConfig or None, got {type(chaos).__name__}"
+            )
+        self._chaos = chaos
 
     @property
     def cache(self) -> Cache:
@@ -285,8 +328,89 @@ class EventDrivenSimulator:
         backend = 0
         node_arrivals = np.zeros(params.n, dtype=np.int64)
         monitor = self._monitor
+        chaos = self._chaos
+        tracker: Optional[NodeStateTracker] = None
+        schedule = None
+        chaos_stats = {
+            "unavailable": 0, "stale_hits": 0, "retries": 0,
+            "failovers": 0, "events": 0,
+        }
+        fetched_keys: Set[int] = set()
+        if chaos is not None:
+            schedule = chaos.schedule_for(
+                params.n, duration,
+                rng=self._factory.generator("chaos-schedule", trial=trial),
+            )
+            tracker = NodeStateTracker(params.n)
         if monitor is not None:
-            monitor.begin_run(trial=trial, n=params.n, rate=params.rate)
+            monitor.begin_run(
+                trial=trial, n=params.n, rate=params.rate, chaos=chaos is not None
+            )
+
+        def make_failure_event(event):
+            def fire(sched: EventScheduler, now: float) -> None:
+                changed = tracker.apply(event)
+                if not changed:
+                    return
+                chaos_stats["events"] += 1
+                server = servers[event.node]
+                if event.kind == "crash":
+                    server.crash(now)
+                    if monitor is not None:
+                        monitor.record_node_event(now, event.node, up=False)
+                elif event.kind == "recover":
+                    server.recover(now)
+                    if monitor is not None:
+                        monitor.record_node_event(now, event.node, up=True)
+                elif event.kind == "slow":
+                    server.set_rate_factor(event.factor)
+                else:
+                    server.set_rate_factor(1.0)
+
+            return fire
+
+        def chaos_dispatch(
+            sched: EventScheduler, now: float, key: int, t0: float,
+            attempt: int, tried: Tuple[int, ...],
+        ) -> None:
+            policy = chaos.retry
+            if attempt == 1:
+                node: Optional[int] = self._route(key, servers, routing_gen)
+            else:
+                # Having timed out, the front end asks membership for a
+                # surviving replica it has not tried yet (group order:
+                # deterministic, no extra RNG draws).
+                node = None
+                for cand in self._cluster.replica_group(key):
+                    cand = int(cand)
+                    if cand not in tried and tracker.is_up(cand):
+                        node = cand
+                        break
+            if node is not None and tracker.is_up(node):
+                node_arrivals[node] += 1
+                if monitor is not None:
+                    monitor.record_request(now, key, node)
+                servers[node].arrive(sched, Request(key=key, arrival_time=t0))
+                fetched_keys.add(key)
+                if attempt > 1:
+                    chaos_stats["failovers"] += 1
+                return
+            exhausted = attempt >= policy.max_attempts
+            if node is not None:
+                tried = tried + (node,)
+                exhausted = exhausted or len(tried) >= self._cluster.d
+            if node is None or exhausted:
+                chaos_stats["unavailable"] += 1
+                if chaos.serve_stale and key in fetched_keys:
+                    chaos_stats["stale_hits"] += 1
+                if monitor is not None:
+                    monitor.record_unavailable(now, key)
+                return
+            chaos_stats["retries"] += 1
+            sched.schedule(
+                now + policy.delay(attempt),
+                lambda s, t: chaos_dispatch(s, t, key, t0, attempt + 1, tried),
+            )
 
         def make_arrival(key: int, t: float):
             def fire(sched: EventScheduler, now: float) -> None:
@@ -297,6 +421,9 @@ class EventDrivenSimulator:
                         monitor.record_request(now, int(key))
                     return
                 backend += 1
+                if tracker is not None:
+                    chaos_dispatch(sched, now, int(key), now, 1, ())
+                    return
                 node = self._route(int(key), servers, routing_gen)
                 node_arrivals[node] += 1
                 if monitor is not None:
@@ -306,6 +433,12 @@ class EventDrivenSimulator:
             return fire
 
         with tracer.span("event-loop"):
+            if schedule is not None:
+                # Failure events are scheduled first so that at equal
+                # timestamps a crash lands before the colliding arrival
+                # (the scheduler breaks ties by insertion order).
+                for event in schedule:
+                    scheduler.schedule(float(event.time), make_failure_event(event))
             for key, t in zip(keys.tolist(), times.tolist()):
                 scheduler.schedule(float(t), make_arrival(key, float(t)))
             scheduler.run()
@@ -319,11 +452,28 @@ class EventDrivenSimulator:
             arrival_loads = LoadVector(
                 loads=node_arrivals.astype(float) / duration, total_rate=params.rate
             )
+            crash_lost = int(sum(s.crash_lost for s in servers))
             if self._metrics is not None:
                 self._publish_run_metrics(
                     n_queries, frontend_hits, backend,
                     node_arrivals, served, dropped, latencies,
                 )
+                if chaos is not None:
+                    metrics = self._metrics
+                    metrics.counter("chaos_failure_events_total").inc(
+                        chaos_stats["events"]
+                    )
+                    metrics.counter("chaos_retries_total").inc(chaos_stats["retries"])
+                    metrics.counter("chaos_failovers_total").inc(
+                        chaos_stats["failovers"]
+                    )
+                    metrics.counter("chaos_unavailable_total").inc(
+                        chaos_stats["unavailable"]
+                    )
+                    metrics.counter("chaos_stale_hits_total").inc(
+                        chaos_stats["stale_hits"]
+                    )
+                    metrics.counter("chaos_crash_lost_total").inc(crash_lost)
             if monitor is not None:
                 monitor.finalize(duration)
         return EventSimResult(
@@ -340,4 +490,10 @@ class EventDrivenSimulator:
             latency_p95=float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
             latency_p99=float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
             cache_hit_rate=frontend_hits / n_queries,
+            unavailable=chaos_stats["unavailable"],
+            stale_hits=chaos_stats["stale_hits"],
+            retries=chaos_stats["retries"],
+            failovers=chaos_stats["failovers"],
+            crash_lost=crash_lost,
+            failure_events=chaos_stats["events"],
         )

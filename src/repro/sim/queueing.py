@@ -68,10 +68,17 @@ class NodeServer:
         self._queue: Deque[Request] = deque()
         self._in_service: Optional[Request] = None
         self._latency_sample_limit = latency_sample_limit
+        # Fault-injection state (repro.chaos): a down node rejects
+        # arrivals; crashing bumps the epoch so the stale completion
+        # event already in the scheduler becomes a no-op.
+        self.down = False
+        self._epoch = 0
+        self._rate_factor = 1.0
         # statistics
         self.arrivals = 0
         self.served = 0
         self.dropped = 0
+        self.crash_lost = 0
         self.busy_time = 0.0
         self.latencies: List[float] = []
         self._service_started = 0.0
@@ -87,6 +94,9 @@ class NodeServer:
         Returns False (and counts a drop) when the queue is full.
         """
         self.arrivals += 1
+        if self.down:
+            self.dropped += 1
+            return False
         if self._in_service is None:
             self._begin_service(scheduler, request, scheduler.now)
             return True
@@ -96,17 +106,58 @@ class NodeServer:
         self._queue.append(request)
         return True
 
+    def crash(self, now: float) -> int:
+        """Hard-fail the node: everything queued or in service is lost.
+
+        Returns the number of requests lost.  The pending completion
+        event stays in the scheduler but fires into a newer epoch, so
+        it is ignored; :meth:`recover` brings the node back empty.
+        """
+        self._epoch += 1
+        lost = len(self._queue)
+        self._queue.clear()
+        if self._in_service is not None:
+            lost += 1
+            self.busy_time += now - self._service_started
+            self._in_service = None
+        self.dropped += lost
+        self.crash_lost += lost
+        self.down = True
+        return lost
+
+    def recover(self, now: float) -> None:
+        """Bring a crashed node back online (empty queue, idle server)."""
+        del now
+        self.down = False
+
+    def set_rate_factor(self, factor: float) -> None:
+        """Scale future service times by ``1/factor`` (slow-node state).
+
+        The request currently in service keeps its already-scheduled
+        completion time; only subsequent services see the new rate.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"rate factor must be positive, got {factor}")
+        self._rate_factor = factor
+
     def _service_time(self) -> float:
+        rate = self.service_rate * self._rate_factor
         if self._service == "deterministic":
-            return 1.0 / self.service_rate
-        return float(self._rng.exponential(1.0 / self.service_rate))
+            return 1.0 / rate
+        return float(self._rng.exponential(1.0 / rate))
 
     def _begin_service(
         self, scheduler: EventScheduler, request: Request, start: float
     ) -> None:
         self._in_service = request
         self._service_started = start
-        scheduler.schedule(start + self._service_time(), self._complete)
+        epoch = self._epoch
+
+        def complete(sched: EventScheduler, time: float) -> None:
+            if epoch == self._epoch:
+                self._complete(sched, time)
+
+        scheduler.schedule(start + self._service_time(), complete)
 
     def _complete(self, scheduler: EventScheduler, time: float) -> None:
         request = self._in_service

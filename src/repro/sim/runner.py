@@ -107,8 +107,13 @@ def run_trials(
                 return int(value) if isinstance(value, (int, np.integer)) else None
 
             x, c, d = _as_int(meta.get("x")), _as_int(meta.get("c")), _as_int(meta.get("d"))
+            eff = meta.get("effective_d")
+            effective_d = float(eff) if isinstance(eff, (int, float, np.floating, np.integer)) else None
             for t, vector in enumerate(vectors):
-                monitor.record_trial(t, vector, campaign=label, x=x, c=c, d=d)
+                monitor.record_trial(
+                    t, vector, campaign=label, x=x, c=c, d=d,
+                    effective_d=effective_d,
+                )
     return LoadReport(
         normalized_max_per_trial=normalized,
         total_rate=float(reference.total_rate),

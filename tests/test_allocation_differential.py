@@ -1,0 +1,120 @@
+"""Property-based differential test: batched d-choice kernel vs the
+sequential reference.
+
+The batched numpy kernel (:func:`repro.ballsbins.allocation._d_choice_batched`)
+promises *byte-identical* occupancy vectors to the plain greedy loop —
+including first-candidate tie-breaking — for any candidate matrix.  The
+tests here draw random ``(bins, d, balls, seed)`` configurations (plus
+adversarially collision-heavy ones) and require exact equality; a single
+off-by-one placement fails loudly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ballsbins.allocation import (
+    _d_choice_batched,
+    _d_choice_sequential,
+    d_choice_allocate,
+    sample_replica_groups,
+)
+
+
+def _assert_identical(choices: np.ndarray, bins: int) -> None:
+    """Both kernels on the same candidate matrix; exact equality."""
+    balls, d = choices.shape
+    sequential = d_choice_allocate(
+        balls, bins, d, choices=choices, method="sequential"
+    )
+    batched = d_choice_allocate(balls, bins, d, choices=choices, method="batched")
+    np.testing.assert_array_equal(batched, sequential)
+    assert batched.dtype == sequential.dtype == np.int64
+    assert int(batched.sum()) == balls
+
+
+@st.composite
+def _configs(draw, max_balls=2000, min_balls=0):
+    bins = draw(st.integers(min_value=2, max_value=200))
+    d = draw(st.integers(min_value=2, max_value=min(6, bins)))
+    balls = draw(st.integers(min_value=min_balls, max_value=max_balls))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return bins, d, balls, seed
+
+
+class TestBatchedMatchesSequential:
+    @given(_configs())
+    @settings(max_examples=60, deadline=None)
+    def test_random_configurations(self, config):
+        bins, d, balls, seed = config
+        choices = sample_replica_groups(balls, bins, d, rng=seed)
+        _assert_identical(choices, bins)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=2, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_collision_heavy_tiny_bin_space(self, seed, d):
+        # Few bins + many balls: almost every ball conflicts with an
+        # earlier one, so the batched kernel's defer-and-retry rounds
+        # and the tie-breaking path carry all the weight.
+        bins = d + 1
+        choices = sample_replica_groups(500, bins, d, rng=seed)
+        _assert_identical(choices, bins)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_with_replacement_duplicate_rows(self, seed):
+        # distinct=False allows a ball to list the same bin twice; a
+        # ball must not be blocked by its *own* claim.
+        choices = sample_replica_groups(400, 10, 3, rng=seed, distinct=False)
+        _assert_identical(choices, 10)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_explicit_tiny_windows(self, seed, window):
+        # Force pathological window sizes (down to one ball per window)
+        # through the kernel directly.
+        choices = sample_replica_groups(300, 24, 3, rng=seed)
+        batched = _d_choice_batched(
+            np.ascontiguousarray(choices), 24, window=window
+        )
+        np.testing.assert_array_equal(batched, _d_choice_sequential(choices, 24))
+
+    def test_worst_case_all_same_candidates(self):
+        # Every ball lists the identical candidate set: pure sequential
+        # dependency, every round places exactly one ball.
+        choices = np.tile(np.array([3, 1, 4], dtype=np.int64), (200, 1))
+        _assert_identical(choices, 6)
+        sequential = _d_choice_sequential(choices, 6)
+        # Ties go to the first listed candidate: 3 before 1 before 4.
+        assert sequential[3] >= sequential[1] >= sequential[4]
+
+    def test_d2_specialised_reduction(self):
+        # d == 2 takes the strided-view shortcut in the kernel.
+        choices = sample_replica_groups(5000, 40, 2, rng=99)
+        _assert_identical(choices, 40)
+
+
+@pytest.mark.slow
+class TestBatchedMatchesSequentialSlow:
+    """Paper-scale sweeps past the auto-dispatch threshold."""
+
+    @given(_configs(max_balls=30_000, min_balls=4096))
+    @settings(max_examples=15, deadline=None)
+    def test_large_random_configurations(self, config):
+        bins, d, balls, seed = config
+        choices = sample_replica_groups(balls, bins, d, rng=seed)
+        _assert_identical(choices, bins)
+
+    def test_auto_dispatch_agrees_both_sides_of_threshold(self):
+        for balls in (4095, 4096, 20_000):
+            for bins, d in ((1000, 3), (24, 3), (16, 2)):
+                choices = sample_replica_groups(balls, bins, d, rng=balls + bins)
+                auto = d_choice_allocate(
+                    balls, bins, d, choices=choices, method="auto"
+                )
+                np.testing.assert_array_equal(
+                    auto, _d_choice_sequential(choices, bins)
+                )
