@@ -1,64 +1,25 @@
-"""Shared helpers for the benchmark harness.
+"""Thin shim over :mod:`repro.perf.harness` (the unified bench harness).
 
-Every bench regenerates one paper artifact (or one ablation) at a scale
-that keeps the whole harness under a few minutes, prints the resulting
-table (visible with ``pytest benchmarks/ --benchmark-only``), and saves
-it under ``benchmarks/results/`` for EXPERIMENTS.md provenance.
+The helpers every bench script imports (``emit``, ``emit_json``,
+``smoke_mode``, ``timed``) now live in the harness, next to
+``register()`` — the entry point each ``bench_*.py`` declares itself
+through.  This module only re-exports them so the scripts keep one
+import style and external callers of the old helpers keep working.
 
 Scale note: the paper runs 200 trials per sweep point; the benches
 default to fewer (the per-bench ``TRIALS`` constants) because the
 qualitative shape — who wins, where the crossover sits — stabilises far
 earlier than the worst-case tail.  ``python -m repro <fig> --full``
-reruns any figure at full paper scale.
-
-Perf benches additionally persist machine-readable JSON via
-:func:`emit_json` (config + wall-seconds + derived throughput numbers)
-and honour ``REPRO_BENCH_SMOKE=1`` (see :func:`smoke_mode`) so a
-seconds-scale variant can run inside the tier-1 test budget.
+reruns any figure at full paper scale, and ``REPRO_BENCH_SMOKE=1`` (or
+``repro perf run --smoke``) shrinks the perf benches to a seconds-scale
+configuration whose artifacts land under ``*_smoke`` names.
 """
 
-from __future__ import annotations
-
-import json
-import os
-import sys
-import time
-from pathlib import Path
-from typing import Any, Callable, Tuple
-
-RESULTS_DIR = Path(__file__).parent / "results"
-
-
-def emit(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results/."""
-    print(f"\n{text}\n", file=sys.stderr)
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
-
-
-def emit_json(name: str, payload: dict) -> Path:
-    """Persist a machine-readable result dict as benchmarks/results/<name>.json."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
-    path.write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    return path
-
-
-def smoke_mode() -> bool:
-    """Whether ``REPRO_BENCH_SMOKE=1`` asks for a seconds-scale run.
-
-    Smoke runs shrink every dimension (trials, balls, worker counts) so
-    the bench can execute inside the tier-1 test budget, and write their
-    JSON under a ``*_smoke`` name so full-scale artifacts are never
-    overwritten by a test run.
-    """
-    return os.environ.get("REPRO_BENCH_SMOKE", "") == "1"
-
-
-def timed(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Tuple[Any, float]:
-    """Run ``fn(*args, **kwargs)`` and return ``(result, wall_seconds)``."""
-    start = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return result, time.perf_counter() - start
+from repro.perf.harness import (  # noqa: F401
+    active_profiler,
+    emit,
+    emit_json,
+    register,
+    smoke_mode,
+    timed,
+)

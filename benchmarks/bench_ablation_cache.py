@@ -22,7 +22,7 @@ implemented policy and reports hit rates:
 """
 
 import numpy as np
-from _util import emit
+from _util import register
 
 from repro.cache import (
     ARCCache,
@@ -106,10 +106,7 @@ def _run():
     )
 
 
-def bench_ablation_cache(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ablation_cache", result.render())
-
+def _check(result) -> None:
     rows = {
         policy: dict(zipf=z, iid=i, scan=s)
         for policy, z, i, s in zip(
@@ -137,3 +134,23 @@ def bench_ablation_cache(benchmark):
         assert rows[policy]["scan"] < 0.05, policy
     for policy in ("perfect", "tinylfu-lru"):
         assert rows[policy]["scan"] > steady - 0.1, policy
+
+
+def _workload(result):
+    # Three traces replayed through every policy.
+    return {"events": 3 * N_QUERIES * len(result.column("policy"))}
+
+
+SPEC = register(
+    "ablation_cache", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_ablation_cache(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -9,7 +9,7 @@ exactly when the cluster is already degraded.
 """
 
 import numpy as np
-from _util import emit
+from _util import active_profiler, register
 
 from repro.ballsbins.allocation import sample_replica_groups
 from repro.cluster.failures import (
@@ -31,6 +31,8 @@ FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.5)
 
 
 def _run():
+    profiler = active_profiler()
+    metrics = profiler.metrics if profiler is not None else None
     x = M
     rates = np.full(x - C, RATE / x)
     factory = RngFactory(SEED)
@@ -45,7 +47,7 @@ def _run():
         unavailable = []
         for trial in range(TRIALS):
             gen = factory.generator("failures", trial=trial)
-            groups = sample_replica_groups(x - C, N, D, rng=gen)
+            groups = sample_replica_groups(x - C, N, D, rng=gen, metrics=metrics)
             failed = sample_failures(N, fraction, rng=gen)
             degraded = degrade_groups(groups, failed, n=N)
             loads = degraded.least_loaded_loads(rates, n=N)
@@ -68,10 +70,7 @@ def _run():
     )
 
 
-def bench_ablation_failures(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ablation_failures", result.render())
-
+def _check(result) -> None:
     fractions = result.column("failed_fraction")
     unavailable = result.column("unavailable")
     theory = result.column("unavailable_theory")
@@ -87,3 +86,22 @@ def bench_ablation_failures(benchmark):
     assert all(a <= b + 0.05 for a, b in zip(gains, gains[1:]))
     # ...and at 50% failures the prevention margin is visibly consumed.
     assert gains[-1] > gains[0] * 1.5
+
+
+def _workload(result):
+    return {"balls": len(FRACTIONS) * TRIALS * (M - C)}
+
+
+SPEC = register(
+    "ablation_failures", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_ablation_failures(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -10,7 +10,7 @@ both policies on a mixed cluster and checks the
 """
 
 import numpy as np
-from _util import emit
+from _util import register
 
 from repro.ballsbins.allocation import sample_replica_groups
 from repro.cluster.selection import LeastLoadedKeyPinning, LeastUtilizedKeyPinning
@@ -62,7 +62,7 @@ def _run():
         ],
         "saturated_nodes_worst": [max(blind_sat), max(aware_sat)],
     }
-    return capacities, bound, ExperimentResult(
+    return ExperimentResult(
         name="ablation-heterogeneous",
         description=(
             "mixed-capacity cluster (20% nodes at 3x) under the full-sweep "
@@ -70,14 +70,12 @@ def _run():
         ),
         columns=columns,
         config={"n": N, "m": M, "c": C, "d": D, "trials": TRIALS,
-                "standard_capacity": round(1.5 * RATE / N, 1)},
+                "standard_capacity": round(1.5 * RATE / N, 1),
+                "bound_utilization_max": round(float((bound / capacities).max()), 4)},
     )
 
 
-def bench_ablation_heterogeneous(benchmark):
-    capacities, bound, result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ablation_heterogeneous", result.render())
-
+def _check(result) -> None:
     blind, aware = result.column("peak_utilization")
     # Capacity-aware placement strictly reduces the peak utilization on
     # a mixed cluster.
@@ -88,4 +86,23 @@ def bench_ablation_heterogeneous(benchmark):
     assert aware_sat <= blind_sat
     # The per-node heterogeneous bound covers the aware policy's loads
     # (utilization form: bound_i / capacity_i >= measured peak).
-    assert aware <= float((bound / capacities).max()) + 0.05
+    assert aware <= result.config["bound_utilization_max"] + 0.05
+
+
+def _workload(result):
+    return {"balls": TRIALS * (M - C)}
+
+
+SPEC = register(
+    "ablation_heterogeneous", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_ablation_heterogeneous(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

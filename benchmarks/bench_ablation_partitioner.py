@@ -8,7 +8,7 @@ back.
 """
 
 import numpy as np
-from _util import emit
+from _util import register
 
 from repro.cluster.cluster import Cluster
 from repro.cluster.partitioner import ConsistentHashPartitioner, RandomTablePartitioner
@@ -47,12 +47,28 @@ def _run():
     )
 
 
-def bench_ablation_partitioner(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ablation_partitioner", result.render())
-
+def _check(result) -> None:
     gain = dict(zip(result.column("partitioner"), result.column("normalized_max")))
     # More vnodes -> closer to the random-table ideal.
     assert gain["ring-256-vnodes"] <= gain["ring-8-vnodes"]
     # With enough vnodes the ring is within 30% of the ideal.
     assert gain["ring-256-vnodes"] <= gain["random-table"] * 1.3
+
+
+def _workload(result):
+    return {"balls": len(result.column("partitioner")) * M}
+
+
+SPEC = register(
+    "ablation_partitioner", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_ablation_partitioner(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

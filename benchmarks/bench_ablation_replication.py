@@ -6,7 +6,7 @@ world, d >= 2 is this paper's.  Expected: a large drop from d = 1 to
 d = 2 (sqrt excess -> log log excess) and mild further gains after.
 """
 
-from _util import emit
+from _util import register
 
 from repro.core import baseline_socc11
 from repro.core.bounds import normalized_max_load_bound
@@ -39,10 +39,7 @@ def _run():
     )
 
 
-def bench_ablation_replication(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ablation_replication", result.render())
-
+def _check(result) -> None:
     gains = dict(zip(result.column("d"), result.column("sim_gain")))
     bounds = dict(zip(result.column("d"), result.column("bound")))
     # The big cliff: two choices already capture most of the benefit.
@@ -55,3 +52,22 @@ def bench_ablation_replication(benchmark):
     assert gains[1] <= bounds[1] * 1.05
     for d in (2, 3, 4, 5):
         assert gains[d] <= bounds[d] + 1e-9
+
+
+def _workload(result):
+    return {"balls": len(D_VALUES) * TRIALS * result.config["m"]}
+
+
+SPEC = register(
+    "ablation_replication", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_ablation_replication(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -9,7 +9,7 @@ close behind, random/primary pinning clearly worse (they degenerate to
 one-choice placement).
 """
 
-from _util import emit
+from _util import register
 
 from repro.core.notation import SystemParameters
 from repro.experiments.report import ExperimentResult
@@ -39,12 +39,28 @@ def _run():
     )
 
 
-def bench_ablation_selection(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ablation_selection", result.render())
-
+def _check(result) -> None:
     gain = dict(zip(result.column("policy"), result.column("worst_gain")))
     assert gain["least-loaded"] <= gain["round-robin"] + 0.02
     assert gain["round-robin"] < gain["random-pin"]
     # Random and primary pinning are the same process statistically.
     assert abs(gain["random-pin"] - gain["primary"]) < 0.5
+
+
+def _workload(result):
+    return {"balls": len(POLICIES) * TRIALS * result.config["m"]}
+
+
+SPEC = register(
+    "ablation_selection", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_ablation_selection(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -6,7 +6,7 @@ the ``log log n / log d + k'`` gap the cache-size theorem rests on —
 and, unlike the one-choice gap, it must not grow with the load.
 """
 
-from _util import emit
+from _util import active_profiler, register
 
 from repro.ballsbins import (
     d_choice_allocate,
@@ -30,14 +30,26 @@ def _gap(allocate, balls):
 
 
 def _run():
+    profiler = active_profiler()
+    metrics = profiler.metrics if profiler is not None else None
     columns = {"balls": [], "gap_1choice": [], "gap_3choice": [], "bound_3choice_gap": []}
     for balls in LOADS:
         columns["balls"].append(balls)
         columns["gap_1choice"].append(
-            _gap(lambda b, t: one_choice_allocate(b, BINS, rng=SEED + t), balls)
+            _gap(
+                lambda b, t: one_choice_allocate(
+                    b, BINS, rng=SEED + t, metrics=metrics
+                ),
+                balls,
+            )
         )
         columns["gap_3choice"].append(
-            _gap(lambda b, t: d_choice_allocate(b, BINS, 3, rng=SEED + t), balls)
+            _gap(
+                lambda b, t: d_choice_allocate(
+                    b, BINS, 3, rng=SEED + t, metrics=metrics
+                ),
+                balls,
+            )
         )
         columns["bound_3choice_gap"].append(
             max_load_bound(balls, BINS, 3, k_prime=0.75) - balls / BINS
@@ -50,10 +62,7 @@ def _run():
     )
 
 
-def bench_ballsbins(benchmark):
-    result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("ballsbins", result.render())
-
+def _check(result) -> None:
     one = result.column("gap_1choice")
     three = result.column("gap_3choice")
     bound = result.column("bound_3choice_gap")
@@ -64,3 +73,21 @@ def bench_ballsbins(benchmark):
     assert all(g <= b for g, b in zip(three, bound))
     # And the d-choice gap is dramatically smaller at heavy load.
     assert three[-1] < one[-1] / 5
+
+
+def _workload(result):
+    # Both processes throw every load level TRIALS times.
+    return {"balls": 2 * TRIALS * sum(result.column("balls"))}
+
+
+SPEC = register("ballsbins", run=_run, check=_check, workload=_workload, seed=SEED)
+
+
+def bench_ballsbins(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -11,7 +11,7 @@ case structure.
 """
 
 import numpy as np
-from _util import emit
+from _util import register
 
 from repro.core import baseline_socc11
 from repro.core.notation import SystemParameters
@@ -42,7 +42,7 @@ def _run():
     params1, xs, gains_d1 = _sweep(d=1)
     _, _, gains_d3 = _sweep(d=3)
     analytic_xstar = baseline_socc11.optimal_query_count(params1)
-    return analytic_xstar, ExperimentResult(
+    return ExperimentResult(
         name="baseline-socc11",
         description=(
             "gain vs flood width x: unreplicated (d=1, interior optimum) vs "
@@ -56,13 +56,11 @@ def _run():
     )
 
 
-def bench_baseline_socc11(benchmark):
-    analytic_xstar, result = benchmark.pedantic(_run, rounds=1, iterations=1)
-    emit("baseline_socc11", result.render())
-
+def _check(result) -> None:
     xs = result.column("x")
     d1 = result.column("gain_d1")
     d3 = result.column("gain_d3")
+    analytic_xstar = result.config["analytic_xstar_d1"]
 
     # d=1: interior optimum — the peak is strictly inside the sweep...
     peak = int(np.argmax(d1))
@@ -83,3 +81,23 @@ def bench_baseline_socc11(benchmark):
     # Replication beats no-replication at every interior width.
     for g1, g3 in zip(d1[2:-1], d3[2:-1]):
         assert g3 <= g1 + 0.05
+
+
+def _workload(result):
+    # Two sweeps, TRIALS trials per x, each throwing ~x balls.
+    return {"balls": 2 * TRIALS * sum(result.column("x"))}
+
+
+SPEC = register(
+    "baseline_socc11", run=_run, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_baseline_socc11(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

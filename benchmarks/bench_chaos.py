@@ -13,10 +13,8 @@ writes ``chaos_smoke.json`` so the committed full-scale artifact
 survives test runs.
 """
 
-import sys
-
 import numpy as np
-from _util import emit, emit_json, smoke_mode, timed
+from _util import register, smoke_mode, timed
 
 from repro.chaos import ChaosConfig, RetryPolicy
 from repro.core.notation import SystemParameters
@@ -47,7 +45,7 @@ SMOKE = {
 }
 
 
-def _run():
+def _sweep():
     spec = SMOKE if smoke_mode() else FULL
     params = SystemParameters(**spec["params"])
     distribution = AdversarialDistribution(params.m, spec["x"])
@@ -92,7 +90,7 @@ def _run():
         columns["degraded_bound_max"].append(max(deg) if deg else None)
         columns["gain_mean"].append(float(np.mean(gains)))
         columns["wall_seconds"].append(start_seconds)
-    return params, ExperimentResult(
+    return ExperimentResult(
         name="chaos-sweep",
         description=(
             "service quality and degraded Theorem-2 bound vs per-node "
@@ -106,15 +104,15 @@ def _run():
     )
 
 
-def _check(result) -> bool:
+def _shape_ok(columns: dict, config: dict) -> bool:
     """Qualitative shape: degradation is monotone and never silent."""
-    rates = result.column("failure_rate")
-    eff = result.column("effective_d_min")
-    events = result.column("failure_events")
+    rates = columns["failure_rate"]
+    eff = columns["effective_d_min"]
+    events = columns["failure_events"]
     ok = True
     for rate, e, ev in zip(rates, eff, events):
         if rate == 0:
-            ok = ok and ev == 0 and e == result.config["d"]
+            ok = ok and ev == 0 and e == config["d"]
         else:
             ok = ok and ev > 0
     # The heaviest failure process degrades effective d the most.
@@ -122,30 +120,52 @@ def _check(result) -> bool:
     return ok
 
 
-def run_bench():
-    (params, result), seconds = timed(_run)
-    payload = {
+def _run() -> dict:
+    result, seconds = timed(_sweep)
+    return {
         "smoke": smoke_mode(),
         "wall_seconds": seconds,
         "config": dict(result.config),
         "columns": {name: list(values) for name, values in result.columns.items()},
-        "shape_ok": _check(result),
+        "shape_ok": _shape_ok(result.columns, result.config),
     }
-    emit_json("chaos_smoke" if smoke_mode() else "chaos", payload)
-    return payload, result
 
 
-def bench_chaos(benchmark):
-    payload, result = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    emit("chaos", result.render())
+def _render(payload: dict) -> str:
+    return ExperimentResult(
+        name="chaos-sweep",
+        description=(
+            "service quality and degraded Theorem-2 bound vs per-node "
+            "crash intensity (event-driven engine, worst-case attack)"
+        ),
+        columns=payload["columns"],
+        config=payload["config"],
+    ).render()
+
+
+def _check(payload: dict) -> None:
     assert payload["shape_ok"]
 
 
-def main() -> int:
-    payload, result = run_bench()
-    emit("chaos_smoke" if smoke_mode() else "chaos", result.render())
-    return 0 if payload["shape_ok"] else 1
+def _workload(payload: dict):
+    config = payload["config"]
+    events = (
+        config["queries"] * config["trials"]
+        * len(payload["columns"]["failure_rate"])
+    )
+    return {"events": events}
+
+
+SPEC = register(
+    "chaos", run=_run, render=_render, check=_check, workload=_workload, seed=SEED
+)
+
+
+def bench_chaos(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(SPEC.main())

@@ -12,11 +12,8 @@ writes ``eventsim_smoke.json`` so the committed full-scale artifact
 survives test runs.
 """
 
-import sys
-
 import numpy as np
-import pytest
-from _util import emit, emit_json, smoke_mode, timed
+from _util import active_profiler, register, smoke_mode, timed
 
 from repro.core.notation import SystemParameters
 from repro.experiments.report import ExperimentResult
@@ -42,9 +39,11 @@ SMOKE = {
 }
 
 
-def _run():
+def _sweep():
     spec = SMOKE if smoke_mode() else FULL
     params = SystemParameters(**spec["params"])
+    profiler = active_profiler()
+    metrics = profiler.metrics if profiler is not None else None
     columns = {"x": [], "analytic_mean": [], "eventsim_mean": [], "drop_rate": []}
     for x in spec["x_values"]:
         analytic = simulate_uniform_attack(
@@ -53,7 +52,8 @@ def _run():
         gains, drops = [], []
         for trial in range(spec["event_trials"]):
             sim = EventDrivenSimulator(
-                params, AdversarialDistribution(params.m, x), seed=SEED
+                params, AdversarialDistribution(params.m, x), seed=SEED,
+                metrics=metrics,
             )
             outcome = sim.run(spec["n_queries"], trial=trial)
             gains.append(outcome.normalized_max)
@@ -62,7 +62,7 @@ def _run():
         columns["analytic_mean"].append(analytic)
         columns["eventsim_mean"].append(float(np.mean(gains)))
         columns["drop_rate"].append(float(np.mean(drops)))
-    return params, ExperimentResult(
+    return ExperimentResult(
         name="eventsim-vs-analytic",
         description="normalized max load: placement model vs request-level queueing model",
         columns=columns,
@@ -71,51 +71,64 @@ def _run():
     )
 
 
-def _check(result) -> bool:
+def _agreement(columns: dict) -> bool:
     ok = True
-    for analytic, event in zip(
-        result.column("analytic_mean"), result.column("eventsim_mean")
-    ):
+    for analytic, event in zip(columns["analytic_mean"], columns["eventsim_mean"]):
         ok = ok and abs(event - analytic) <= 0.3 * abs(analytic)
     # Capacity corollary: default capacity is 4 R / n; whenever the
     # analytic gain stays below 4, drops are negligible.
-    for analytic, drop in zip(
-        result.column("analytic_mean"), result.column("drop_rate")
-    ):
+    for analytic, drop in zip(columns["analytic_mean"], columns["drop_rate"]):
         if analytic < 3.5:
             ok = ok and drop < 0.01
     return ok
 
 
-def run_bench() -> dict:
-    (params, result), seconds = timed(_run)
-    payload = {
+def _run() -> dict:
+    result, seconds = timed(_sweep)
+    return {
         "smoke": smoke_mode(),
         "wall_seconds": seconds,
         "config": dict(result.config),
         "columns": {name: list(values) for name, values in result.columns.items()},
-        "engines_agree": _check(result),
+        "engines_agree": _agreement(result.columns),
     }
-    emit_json("eventsim_smoke" if smoke_mode() else "eventsim", payload)
-    return payload, result
 
 
-def bench_eventsim(benchmark):
-    (payload, result) = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    emit("eventsim", result.render())
+def _render(payload: dict) -> str:
+    return ExperimentResult(
+        name="eventsim-vs-analytic",
+        description="normalized max load: placement model vs request-level queueing model",
+        columns=payload["columns"],
+        config=payload["config"],
+    ).render()
 
-    for analytic, event in zip(
-        result.column("analytic_mean"), result.column("eventsim_mean")
-    ):
-        assert event == pytest.approx(analytic, rel=0.3)
+
+def _check(payload: dict) -> None:
+    columns = payload["columns"]
+    for analytic, event in zip(columns["analytic_mean"], columns["eventsim_mean"]):
+        assert abs(event - analytic) <= 0.3 * abs(analytic), (analytic, event)
     assert payload["engines_agree"]
 
 
-def main() -> int:
-    payload, result = run_bench()
-    emit("eventsim_smoke" if smoke_mode() else "eventsim", result.render())
-    return 0 if payload["engines_agree"] else 1
+def _workload(payload: dict):
+    config = payload["config"]
+    events = (
+        config["queries"] * config["event_trials"] * len(payload["columns"]["x"])
+    )
+    return {"events": events}
+
+
+SPEC = register(
+    "eventsim", run=_run, render=_render, check=_check, workload=_workload,
+    seed=SEED,
+)
+
+
+def bench_eventsim(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(SPEC.main())

@@ -5,7 +5,7 @@ queried keys, exceeds 1.0 (effective attack) near ``x = c + 1``, and the
 Eq. (10) bound sits above the measurements.
 """
 
-from _util import emit
+from _util import register
 
 from repro.experiments import run_fig3a
 
@@ -13,12 +13,11 @@ TRIALS = 30  # paper: 200; shape is stable well before that
 SEED = 31
 
 
-def bench_fig3a(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_fig3a(trials=TRIALS, seed=SEED), rounds=1, iterations=1
-    )
-    emit("fig3a", result.render())
+def _run():
+    return run_fig3a(trials=TRIALS, seed=SEED)
 
+
+def _check(result) -> None:
     gains = result.column("sim_max")
     xs = result.column("x")
     assert xs[0] == 201
@@ -28,3 +27,16 @@ def bench_fig3a(benchmark):
     assert all(g <= b + 1e-9 for g, b in zip(gains, calibrated)), (
         "calibrated Eq. (10) bound must cover the simulation"
     )
+
+
+SPEC = register("fig3a", run=_run, check=_check, seed=SEED)
+
+
+def bench_fig3a(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -6,7 +6,7 @@ adversary's best play (query everything) is no better than benign
 uniform traffic.
 """
 
-from _util import emit
+from _util import register
 
 from repro.experiments import run_fig3b
 
@@ -14,14 +14,26 @@ TRIALS = 30
 SEED = 32
 
 
-def bench_fig3b(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_fig3b(trials=TRIALS, seed=SEED), rounds=1, iterations=1
-    )
-    emit("fig3b", result.render())
+def _run():
+    return run_fig3b(trials=TRIALS, seed=SEED)
 
+
+def _check(result) -> None:
     gains = result.column("sim_max")
     assert gains[-1] >= gains[0], "curve must increase in x"
     assert max(gains) <= 1.1, "no strongly effective attack with c = 2000"
     calibrated = result.column("bound_calib")
     assert all(g <= b + 1e-9 for g, b in zip(gains, calibrated))
+
+
+SPEC = register("fig3b", run=_run, check=_check, seed=SEED)
+
+
+def bench_fig3b(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -5,7 +5,7 @@ Paper shape to reproduce: Zipf(1.01) is the cheapest for the back end
 the adversarial pattern grows ~linearly with n (as n / (c + 1)).
 """
 
-from _util import emit
+from _util import register
 
 from repro.experiments import run_fig4
 
@@ -13,12 +13,11 @@ TRIALS = 10
 SEED = 41
 
 
-def bench_fig4(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_fig4(trials=TRIALS, seed=SEED), rounds=1, iterations=1
-    )
-    emit("fig4", result.render())
+def _run():
+    return run_fig4(trials=TRIALS, seed=SEED)
 
+
+def _check(result) -> None:
     uniform = result.column("uniform")
     zipf = result.column("zipf")
     adversarial = result.column("adversarial")
@@ -33,3 +32,16 @@ def bench_fig4(benchmark):
     c = result.config["c"]
     expected = n_values[-1] / (c + 1)
     assert abs(adversarial[-1] - expected) / expected < 0.1
+
+
+SPEC = register("fig4", run=_run, check=_check, seed=SEED)
+
+
+def bench_fig4(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

@@ -5,7 +5,7 @@ and crosses 1.0 at a critical point that is Theta(n) and independent of
 the number of stored items; the analytic bound lands near the crossing.
 """
 
-from _util import emit
+from _util import register
 
 from repro.core.cases import critical_cache_size
 from repro.experiments import PAPER, run_fig5a
@@ -14,12 +14,11 @@ TRIALS = 10
 SEED = 51
 
 
-def bench_fig5a(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_fig5a(trials=TRIALS, seed=SEED), rounds=1, iterations=1
-    )
-    emit("fig5a", result.render())
+def _run():
+    return run_fig5a(trials=TRIALS, seed=SEED)
 
+
+def _check(result) -> None:
     cs = result.column("c")
     gains = result.column("best_gain")
     assert gains[0] > 1.0, "small caches must admit effective attacks"
@@ -33,3 +32,16 @@ def bench_fig5a(benchmark):
     lo = critical_cache_size(PAPER.n, PAPER.d, k=PAPER.k)
     hi = critical_cache_size(PAPER.n, PAPER.d, k_prime=0.75)
     assert 0.5 * lo <= crossing <= 1.5 * hi
+
+
+SPEC = register("fig5a", run=_run, check=_check, seed=SEED)
+
+
+def bench_fig5a(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

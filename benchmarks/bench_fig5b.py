@@ -4,7 +4,7 @@ Paper shape to reproduce: a step function — ``x = c + 1`` below the
 critical point, jumping to the entire key space ``m`` above it.
 """
 
-from _util import emit
+from _util import register
 
 from repro.experiments import PAPER, run_fig5b
 
@@ -12,12 +12,11 @@ TRIALS = 10
 SEED = 52
 
 
-def bench_fig5b(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_fig5b(trials=TRIALS, seed=SEED), rounds=1, iterations=1
-    )
-    emit("fig5b", result.render())
+def _run():
+    return run_fig5b(trials=TRIALS, seed=SEED)
 
+
+def _check(result) -> None:
     cs = result.column("c")
     xs = result.column("x_queried")
     # Every point is one of the two endpoints of the case analysis.
@@ -28,3 +27,16 @@ def bench_fig5b(benchmark):
     assert any(switched) and not all(switched)
     first_switch = switched.index(True)
     assert all(switched[first_switch:])
+
+
+SPEC = register("fig5b", run=_run, check=_check, seed=SEED)
+
+
+def bench_fig5b(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

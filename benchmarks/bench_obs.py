@@ -26,9 +26,7 @@ noisy (the committed full-scale artifact is the honest measurement).
 ``obs_smoke.json`` so the full-scale artifact survives test runs.
 """
 
-import sys
-
-from _util import emit, emit_json, smoke_mode, timed
+from _util import register, smoke_mode, timed
 
 from repro.cache.lru import LRUCache
 from repro.core.notation import SystemParameters
@@ -192,20 +190,18 @@ def run_monitor_bench(spec) -> dict:
     }
 
 
-def run_bench() -> dict:
+def _run() -> dict:
     spec = SMOKE if smoke_mode() else FULL
-    payload = {
+    return {
         "smoke": smoke_mode(),
         "repeats": spec["repeats"],
         "monte_carlo": run_monte_carlo_bench(spec),
         "eventsim": run_eventsim_bench(spec),
         "monitor": run_monitor_bench(spec),
     }
-    emit_json("obs_smoke" if smoke_mode() else "obs", payload)
-    return payload
 
 
-def render(payload: dict) -> str:
+def _render(payload: dict) -> str:
     lines = [
         "== obs: instrumentation overhead (min over "
         f"{payload['repeats']} runs, smoke: {payload['smoke']})",
@@ -220,34 +216,41 @@ def render(payload: dict) -> str:
     return "\n".join(lines)
 
 
-def check(payload: dict) -> bool:
-    ok = True
+def _check(payload: dict) -> None:
     for section in ("monte_carlo", "eventsim", "monitor"):
         modes = payload[section]["modes"]
         # Hard contract: instrumentation never changes a result.
-        ok = ok and all(row["identical_to_off"] for row in modes.values())
+        assert all(row["identical_to_off"] for row in modes.values()), section
         if not payload["smoke"]:
             # Soft contract, full scale only (smoke runs are too short
             # to time reliably on a loaded host): the null sink must
             # stay near the uninstrumented floor, and even full
             # instrumentation must not dominate the run.
-            ok = ok and modes["null"]["overhead_pct"] < 25.0
+            assert modes["null"]["overhead_pct"] < 25.0, section
             live = "live" if "live" in modes else "full"
-            ok = ok and modes[live]["overhead_pct"] < 100.0
-    return ok
+            assert modes[live]["overhead_pct"] < 100.0, section
+
+
+def _workload(payload: dict):
+    mc = payload["monte_carlo"]["config"]
+    ev = payload["eventsim"]["config"]
+    repeats = payload["repeats"]
+    modes = len(MODES)
+    events = 2 * modes * repeats * ev["n_queries"]  # eventsim + monitor
+    balls = modes * repeats * mc["trials"] * mc["x"]
+    return {"events": events, "balls": balls}
+
+
+SPEC = register(
+    "obs", run=_run, render=_render, check=_check, workload=_workload, seed=SEED
+)
 
 
 def bench_obs(benchmark):
-    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    emit("obs", render(payload))
-    assert check(payload)
-
-
-def main() -> int:
-    payload = run_bench()
-    emit("obs_smoke" if smoke_mode() else "obs", render(payload))
-    return 0 if check(payload) else 1
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(SPEC.main())

@@ -20,9 +20,8 @@ and kernel throughput, just not multi-process scaling.
 """
 
 import os
-import sys
 
-from _util import emit, emit_json, smoke_mode, timed
+from _util import active_profiler, register, smoke_mode, timed
 
 from repro.ballsbins.allocation import (
     _d_choice_batched,
@@ -54,10 +53,16 @@ FULL_KERNEL = {"balls": 1_000_000, "bins": 1024, "d": 2}
 SMOKE_KERNEL = {"balls": 100_000, "bins": 1024, "d": 2}
 
 
+def _profiler_metrics():
+    profiler = active_profiler()
+    return profiler.metrics if profiler is not None else None
+
+
 def run_campaign_bench() -> dict:
     spec = SMOKE_CAMPAIGN if smoke_mode() else FULL_CAMPAIGN
     params = SystemParameters(**spec["params"])
     trials, x = spec["trials"], spec["x"]
+    metrics = _profiler_metrics()
     rows = []
     serial_seconds = None
     serial_series = None
@@ -65,6 +70,7 @@ def run_campaign_bench() -> dict:
         report, seconds = timed(
             simulate_uniform_attack,
             params, x, trials=trials, seed=SEED, workers=workers,
+            metrics=metrics,
         )
         if serial_seconds is None:
             serial_seconds, serial_series = seconds, report.normalized_max_per_trial
@@ -88,9 +94,12 @@ def run_campaign_bench() -> dict:
 def run_kernel_bench() -> dict:
     spec = SMOKE_KERNEL if smoke_mode() else FULL_KERNEL
     balls, bins, d = spec["balls"], spec["bins"], spec["d"]
-    choices = sample_replica_groups(balls, bins, d, rng=SEED)
+    metrics = _profiler_metrics()
+    choices = sample_replica_groups(balls, bins, d, rng=SEED, metrics=metrics)
     sequential_occ, sequential_seconds = timed(_d_choice_sequential, choices, bins)
-    batched_occ, batched_seconds = timed(_d_choice_batched, choices, bins)
+    batched_occ, batched_seconds = timed(
+        _d_choice_batched, choices, bins, metrics=metrics
+    )
     return {
         "config": {**spec, "seed": SEED},
         "sequential_seconds": sequential_seconds,
@@ -102,19 +111,16 @@ def run_kernel_bench() -> dict:
     }
 
 
-def run_bench() -> dict:
-    """Run both measurements and write the JSON artifact."""
-    payload = {
+def _run() -> dict:
+    return {
         "smoke": smoke_mode(),
         "cpu_count": os.cpu_count(),
         "campaign": run_campaign_bench(),
         "kernel": run_kernel_bench(),
     }
-    emit_json("parallel_smoke" if smoke_mode() else "parallel", payload)
-    return payload
 
 
-def render(payload: dict) -> str:
+def _render(payload: dict) -> str:
     campaign, kernel = payload["campaign"], payload["kernel"]
     lines = [
         "== parallel: campaign fan-out speedup + batched d-choice kernel",
@@ -144,29 +150,42 @@ def render(payload: dict) -> str:
     return "\n".join(lines)
 
 
-def bench_parallel(benchmark):
-    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
-    emit("parallel", render(payload))
+def _check(payload: dict) -> None:
     # Determinism is non-negotiable on any host.
     assert all(r["identical_to_serial"] for r in payload["campaign"]["results"])
     assert payload["kernel"]["identical_occupancy"]
-    assert payload["kernel"]["speedup"] >= 3.0
-    # Scaling needs actual cores to scale over.
-    cpus = payload["cpu_count"] or 1
-    for row in payload["campaign"]["results"]:
-        if row["workers"] > 1 and cpus >= row["workers"]:
-            assert row["speedup"] >= row["workers"] / 2.0
+    if not payload["smoke"]:
+        # Throughput claims need the full-scale workload (and, for the
+        # campaign, actual cores) to be meaningful.
+        assert payload["kernel"]["speedup"] >= 3.0
+        cpus = payload["cpu_count"] or 1
+        for row in payload["campaign"]["results"]:
+            if row["workers"] > 1 and cpus >= row["workers"]:
+                assert row["speedup"] >= row["workers"] / 2.0
 
 
-def main() -> int:
-    payload = run_bench()
-    emit("parallel_smoke" if smoke_mode() else "parallel", render(payload))
-    ok = (
-        all(r["identical_to_serial"] for r in payload["campaign"]["results"])
-        and payload["kernel"]["identical_occupancy"]
+def _workload(payload: dict):
+    campaign = payload["campaign"]["config"]
+    balls = campaign["x"] * campaign["trials"] * len(payload["campaign"]["results"])
+    balls += 2 * payload["kernel"]["config"]["balls"]
+    return {"balls": balls}
+
+
+SPEC = register(
+    "parallel", run=_run, render=_render, check=_check, workload=_workload,
+    seed=SEED,
+)
+
+
+def bench_parallel(benchmark):
+    result = benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
     )
-    return 0 if ok else 1
+    payload = result.payload
+    # Scaling assertions from the original pytest-only path (full scale).
+    if not payload["smoke"]:
+        assert payload["kernel"]["speedup"] >= 3.0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(SPEC.main())

@@ -10,7 +10,7 @@ is benign Zipf) against an under-provisioned cache.  Asserted findings:
   substitute for provisioning.
 """
 
-from _util import emit
+from _util import register
 
 from repro.experiments.stealth import run_stealth_sweep
 
@@ -18,12 +18,11 @@ TRIALS = 10
 SEED = 71
 
 
-def bench_stealth(benchmark):
-    result = benchmark.pedantic(
-        lambda: run_stealth_sweep(trials=TRIALS, seed=SEED), rounds=1, iterations=1
-    )
-    emit("stealth", result.render())
+def _run():
+    return run_stealth_sweep(trials=TRIALS, seed=SEED)
 
+
+def _check(result) -> None:
     fractions = result.column("attack_fraction")
     gains = result.column("gain")
     verdicts = result.column("verdict")
@@ -42,3 +41,16 @@ def bench_stealth(benchmark):
         if 0.0 < fraction <= 0.7:
             assert verdict == "skewed-benign", (fraction, verdict)
     assert verdicts[-1] == "uniform-flood"
+
+
+SPEC = register("stealth", run=_run, check=_check, seed=SEED)
+
+
+def bench_stealth(benchmark):
+    benchmark.pedantic(
+        lambda: SPEC.execute(raise_on_check=True), rounds=1, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(SPEC.main())

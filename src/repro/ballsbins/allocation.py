@@ -77,6 +77,7 @@ def sample_replica_groups(
     d: int,
     rng: RngLike = None,
     distinct: bool = True,
+    metrics=None,
 ) -> np.ndarray:
     """Sample a ``(balls, d)`` matrix of candidate bins per ball.
 
@@ -85,9 +86,14 @@ def sample_replica_groups(
     duplicates; for ``d << bins`` this converges in a couple of rounds.
     ``distinct=False`` gives the textbook with-replacement d-choice
     process — the bounds are the same up to the folded constant.
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) counts
+    sampled groups and candidate slots; it never influences sampling.
     """
     _check(balls, bins, d)
     gen = as_generator(rng, "replica-groups")
+    if metrics is not None:
+        metrics.counter("replica_groups_total").inc(balls)
+        metrics.counter("replica_slots_total").inc(balls * d)
     if balls == 0:
         return np.zeros((0, d), dtype=np.int64)
     choices = gen.integers(0, bins, size=(balls, d))

@@ -16,12 +16,32 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
-__all__ = ["render_text", "render_html", "write_html"]
+__all__ = [
+    "render_text",
+    "render_html",
+    "write_html",
+    "fmt",
+    "html_table",
+    "html_page",
+    "svg_sparkline",
+]
+
+#: Shared stylesheet for every single-file dashboard/report page.
+PAGE_STYLE = (
+    "body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:2rem;"
+    "color:#222;max-width:64rem}"
+    "table{border-collapse:collapse;margin:0.5rem 0 1.5rem}"
+    "th,td{border:1px solid #ccc;padding:0.2rem 0.6rem;font-size:0.85rem;"
+    "text-align:right}"
+    "th{background:#f0f0f0}"
+    "h1{font-size:1.3rem}h2{font-size:1.05rem;margin-top:1.5rem}"
+    ".kv{color:#555}"
+)
 
 
-def _fmt(value, digits: int = 4) -> str:
+def fmt(value, digits: int = 4) -> str:
     """Compact numeric formatting with a dash for missing values."""
     if value is None:
         return "-"
@@ -30,6 +50,78 @@ def _fmt(value, digits: int = 4) -> str:
             return "-"
         return f"{value:.{digits}g}"
     return str(value)
+
+
+# Internal alias kept for callers of the pre-public name.
+_fmt = fmt
+
+
+def html_table(rows: List[dict], columns: List[str]) -> str:
+    """Render dict rows as a plain HTML table (escaped, ``-`` for gaps)."""
+    if not rows:
+        return "<p>(none)</p>"
+    head = "".join(f"<th>{html.escape(c)}</th>" for c in columns)
+    body = []
+    for row in rows:
+        cells = "".join(f"<td>{html.escape(fmt(row.get(c)))}</td>" for c in columns)
+        body.append(f"<tr>{cells}</tr>")
+    return (
+        '<table><thead><tr>' + head + "</tr></thead><tbody>"
+        + "".join(body) + "</tbody></table>"
+    )
+
+
+_html_table = html_table
+
+
+def html_page(title: str, body_parts: Sequence[str]) -> str:
+    """Wrap body fragments in the standalone single-file page skeleton."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{html.escape(title)}</title>",
+        "<style>",
+        PAGE_STYLE,
+        "</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+    ]
+    parts.extend(body_parts)
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def svg_sparkline(
+    values: Sequence[float],
+    width: int = 240,
+    height: int = 40,
+    stroke: str = "#2980b9",
+) -> str:
+    """Inline SVG sparkline over a numeric series (no axes, no assets).
+
+    Scales the series into the box; a single point renders as a flat
+    line so trajectories of length one are still visible.
+    """
+    points = [float(v) for v in values if v is not None and v == v]
+    if not points:
+        return "<span>(no data)</span>"
+    if len(points) == 1:
+        points = points * 2
+    lo, hi = min(points), max(points)
+    span = (hi - lo) or 1.0
+    pad = 3
+    x_step = (width - 2 * pad) / (len(points) - 1)
+    coords = " ".join(
+        f"{pad + i * x_step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(points)
+    )
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        'style="background:#fafafa;border:1px solid #ddd;vertical-align:middle">'
+        f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+        'stroke-width="1.5"/></svg>'
+    )
 
 
 def _window_rows(monitor, last: int) -> List[dict]:
@@ -161,20 +253,6 @@ def _svg_gain_chart(monitor, width: int = 720, height: int = 240) -> str:
     return "".join(parts)
 
 
-def _html_table(rows: List[dict], columns: List[str]) -> str:
-    if not rows:
-        return "<p>(none)</p>"
-    head = "".join(f"<th>{html.escape(c)}</th>" for c in columns)
-    body = []
-    for row in rows:
-        cells = "".join(f"<td>{html.escape(_fmt(row.get(c)))}</td>" for c in columns)
-        body.append(f"<tr>{cells}</tr>")
-    return (
-        '<table><thead><tr>' + head + "</tr></thead><tbody>"
-        + "".join(body) + "</tbody></table>"
-    )
-
-
 def render_html(monitor, title: str = "Online attack monitor") -> str:
     """Render the monitor state as a standalone HTML page (a string)."""
     summary = monitor.summary()
@@ -208,21 +286,7 @@ def render_html(monitor, title: str = "Online attack monitor") -> str:
         {"series": "gain", **summary["gain_quantiles"]},
         {"series": "node-load", **summary["node_load_quantiles"]},
     ]
-    parts = [
-        "<!DOCTYPE html>",
-        '<html lang="en"><head><meta charset="utf-8">',
-        f"<title>{html.escape(title)}</title>",
-        "<style>",
-        "body{font-family:ui-monospace,Menlo,Consolas,monospace;margin:2rem;"
-        "color:#222;max-width:64rem}",
-        "table{border-collapse:collapse;margin:0.5rem 0 1.5rem}",
-        "th,td{border:1px solid #ccc;padding:0.2rem 0.6rem;font-size:0.85rem;"
-        "text-align:right}",
-        "th{background:#f0f0f0}",
-        "h1{font-size:1.3rem}h2{font-size:1.05rem;margin-top:1.5rem}",
-        ".kv{color:#555}",
-        "</style></head><body>",
-        f"<h1>{html.escape(title)}</h1>",
+    body = [
         f'<p class="kv">bound={html.escape(_fmt(summary["bound"]))} '
         f"windows={summary['windows']} alerts={summary['alerts']} "
         f"runs={summary['runs']} final_gain={html.escape(_fmt(summary['final_gain']))} "
@@ -242,9 +306,8 @@ def render_html(monitor, title: str = "Online attack monitor") -> str:
             quant_rows,
             ["series", "p50", "p95", "p99", "count", "mean", "min", "max"],
         ),
-        "</body></html>",
     ]
-    return "\n".join(parts)
+    return html_page(title, body)
 
 
 def write_html(

@@ -1,0 +1,146 @@
+"""Perf history store: ``history.jsonl`` + ``BENCH_<name>.json`` files.
+
+The history is an append-only JSONL file (one validated manifest per
+line) living at ``benchmarks/results/history.jsonl``.  From it the
+harness rolls up one top-level ``BENCH_<name>.json`` per benchmark — a
+compact trajectory (timestamp, git SHA, engine seconds, throughput,
+peak memory per run) that makes the perf story of the repo visible
+from the repo root and diffable in review.
+
+Loading is strict: every line must parse as JSON and pass
+:func:`~repro.perf.schema.validate_manifest`, so a corrupted or
+schema-drifted history hard-fails instead of feeding the comparator
+garbage.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .schema import PerfSchemaError, RunManifest
+
+__all__ = [
+    "default_history_path",
+    "default_trajectory_dir",
+    "append_manifests",
+    "load_history",
+    "trajectory_record",
+    "write_trajectories",
+    "group_by_bench",
+]
+
+
+def default_history_path() -> Path:
+    """``benchmarks/results/history.jsonl`` of this checkout."""
+    from .harness import results_dir
+
+    return results_dir() / "history.jsonl"
+
+
+def default_trajectory_dir() -> Path:
+    """Where ``BENCH_<name>.json`` files land (the repo root)."""
+    from .harness import bench_dir
+
+    return bench_dir().parent
+
+
+def append_manifests(
+    manifests: Iterable[RunManifest], path: Optional[Path] = None
+) -> Path:
+    """Append manifests to the history file (creating it if needed)."""
+    path = Path(path) if path else default_history_path()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [m.to_json_line() for m in manifests]
+    if lines:
+        with path.open("a", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+    return path
+
+
+def load_history(path: Optional[Path] = None) -> List[RunManifest]:
+    """Read and validate the full history, in file (= chronological) order.
+
+    Raises :class:`PerfSchemaError` on any malformed line; a missing
+    file is simply an empty history.
+    """
+    path = Path(path) if path else default_history_path()
+    if not path.exists():
+        return []
+    manifests: List[RunManifest] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise PerfSchemaError(
+                f"{path.name}:{lineno}: invalid JSON ({exc.msg})"
+            ) from exc
+        try:
+            manifests.append(RunManifest.from_dict(record))
+        except PerfSchemaError as exc:
+            raise PerfSchemaError(f"{path.name}:{lineno}: {exc}") from exc
+    return manifests
+
+
+def group_by_bench(
+    manifests: Iterable[RunManifest],
+) -> Dict[str, List[RunManifest]]:
+    """Group manifests by bench name, preserving chronological order."""
+    groups: Dict[str, List[RunManifest]] = {}
+    for manifest in manifests:
+        groups.setdefault(manifest.bench, []).append(manifest)
+    return groups
+
+
+def trajectory_record(manifest: RunManifest) -> dict:
+    """The compact per-run row stored in ``BENCH_<name>.json``."""
+    return {
+        "timestamp": manifest.timestamp,
+        "git_sha": manifest.git_sha,
+        "smoke": manifest.smoke,
+        "ok": manifest.ok,
+        "engine_seconds": manifest.engine_seconds,
+        "export_seconds": manifest.export_seconds,
+        "wall_seconds": manifest.wall_seconds,
+        "events_per_second": manifest.events_per_second,
+        "balls_per_second": manifest.balls_per_second,
+        "tracemalloc_peak_bytes": manifest.tracemalloc_peak_bytes,
+        "rss_peak_bytes": manifest.rss_peak_bytes,
+        "workers": manifest.workers,
+        "seed": manifest.seed,
+    }
+
+
+def write_trajectories(
+    manifests: Iterable[RunManifest], directory: Optional[Path] = None
+) -> List[Path]:
+    """Rewrite one ``BENCH_<name>.json`` per bench from full history.
+
+    Idempotent: derived entirely from the manifests handed in, so
+    re-running after an append simply extends each trajectory.
+    """
+    directory = Path(directory) if directory else default_trajectory_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for bench, runs in sorted(group_by_bench(manifests).items()):
+        payload = {
+            "bench": bench,
+            "schema": runs[-1].schema,
+            "runs": len(runs),
+            "latest": trajectory_record(runs[-1]),
+            "trajectory": [trajectory_record(m) for m in runs],
+        }
+        path = directory / f"BENCH_{bench}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        written.append(path)
+    return written

@@ -1,0 +1,177 @@
+"""Deterministic profiler: op-counters, span timing, peak memory.
+
+The profiler is a thin bundle over the two existing observability seams
+plus a ``tracemalloc`` window:
+
+- **op-counters** live in a private :class:`~repro.obs.MetricsRegistry`.
+  Attach ``profiler.metrics`` anywhere a ``metrics=`` argument is
+  accepted (both engines, the allocation kernels, the caches) and every
+  operation count — requests simulated, balls thrown, cache ops, heap
+  events — lands here.  Counter values are *deterministic*: the engines
+  record per-trial registries that merge in trial order, so
+  :meth:`Profiler.op_counts` is bit-identical for every worker count
+  (pinned by ``tests/test_perf_profiler.py``).
+- **spans** live in a private :class:`~repro.obs.Tracer`; wall-clock,
+  explicitly excluded from the determinism guarantee, injectable clock
+  for tests.
+- **memory**: :meth:`Profiler.capture` brackets a region with
+  ``tracemalloc`` and records the peak traced allocation alongside the
+  process RSS high-water mark.
+
+The profiler is an *observer*: attaching it never changes an engine
+result (the golden-fixture test pins the disabled path byte-for-byte,
+and the determinism tests pin the attached path value-for-value).
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, Optional
+
+from ..obs.metrics import MetricsRegistry, NULL_REGISTRY
+from ..obs.tracer import NULL_TRACER, Tracer
+from .schema import peak_rss_bytes
+
+__all__ = ["Profiler", "NullProfiler", "NULL_PROFILER", "as_profiler"]
+
+
+def _format_key(name: str, labels) -> str:
+    """Stable flat key for one metric series: ``name{k=v,...}``."""
+    if not labels:
+        return name
+    return name + "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+class Profiler:
+    """Op-counters + wall-clock spans + peak-memory capture, one handle.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source for the span tracer (injectable so the
+        harness tests can assert exact span arithmetic).  Defaults to
+        :func:`time.perf_counter`.
+    max_spans:
+        Raw-span retention cap forwarded to the tracer.
+    trace_memory:
+        Whether :meth:`capture` runs ``tracemalloc`` (it costs a
+        constant factor on allocation-heavy code; benches keep it on,
+        hot loops that only want counters can turn it off).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        max_spans: int = 10_000,
+        trace_memory: bool = True,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(
+            clock=clock if clock is not None else time.perf_counter,
+            max_spans=max_spans,
+        )
+        self._trace_memory = trace_memory
+        self.tracemalloc_peak_bytes: Optional[int] = None
+
+    # -- spans -------------------------------------------------------------
+
+    def span(self, name: str):
+        """Open a named wall-clock span (delegates to the tracer)."""
+        return self.tracer.span(name)
+
+    def span_aggregates(self) -> Dict[str, dict]:
+        """Per-path span statistics (count, total, mean, percentiles)."""
+        return self.tracer.aggregates()
+
+    # -- op-counters -------------------------------------------------------
+
+    def count(self, op: str, amount: float = 1, **labels: object) -> None:
+        """Record ``amount`` operations of kind ``op`` directly."""
+        self.metrics.counter(op, **labels).inc(amount)
+
+    def op_counts(self) -> Dict[str, float]:
+        """Every counter as a flat ``{name{labels}: value}`` mapping.
+
+        Deterministic: counters recorded through the engines' metrics
+        seams are merged in trial order, never completion order, so
+        this mapping is identical for any worker count.
+        """
+        return {
+            _format_key(c.name, c.labels): c.value for c in self.metrics.counters()
+        }
+
+    # -- memory ------------------------------------------------------------
+
+    @contextmanager
+    def capture(self) -> Iterator["Profiler"]:
+        """Bracket a region with ``tracemalloc`` peak tracking.
+
+        Nest-safe: if tracing is already on (an outer capture or the
+        caller's own tracemalloc session), the window only resets the
+        peak counter and leaves tracing running on exit.
+        """
+        if not self._trace_memory:
+            yield self
+            return
+        started_here = not tracemalloc.is_tracing()
+        if started_here:
+            tracemalloc.start()
+        else:
+            tracemalloc.reset_peak()
+        try:
+            yield self
+        finally:
+            _, peak = tracemalloc.get_traced_memory()
+            previous = self.tracemalloc_peak_bytes or 0
+            self.tracemalloc_peak_bytes = max(previous, int(peak))
+            if started_here:
+                tracemalloc.stop()
+
+    # -- snapshot ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Plain-data dump: ops, span aggregates, memory peaks."""
+        return {
+            "ops": self.op_counts(),
+            "spans": self.span_aggregates(),
+            "memory": {
+                "tracemalloc_peak_bytes": self.tracemalloc_peak_bytes,
+                "rss_peak_bytes": peak_rss_bytes(),
+            },
+        }
+
+
+class NullProfiler(Profiler):
+    """The disabled profiler: shared no-op sinks, no clock reads.
+
+    Hands out the process-wide null registry and null tracer, so code
+    written against ``profiler.metrics`` / ``profiler.span(...)``
+    behaves exactly like the uninstrumented path.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(trace_memory=False, max_spans=0)
+        self.metrics = NULL_REGISTRY
+        self.tracer = NULL_TRACER
+
+    def snapshot(self) -> dict:
+        return {
+            "ops": {},
+            "spans": {},
+            "memory": {"tracemalloc_peak_bytes": None, "rss_peak_bytes": None},
+        }
+
+
+#: Process-wide shared no-op profiler.
+NULL_PROFILER = NullProfiler()
+
+
+def as_profiler(profiler: Optional[Profiler]) -> Profiler:
+    """Normalise an optional ``profiler=`` argument: ``None`` -> no-op."""
+    return NULL_PROFILER if profiler is None else profiler

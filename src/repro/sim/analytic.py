@@ -263,8 +263,15 @@ def simulate_uniform_attack(
     selection: str = "least-loaded",
     exact_rates: bool = True,
     workers: int = 1,
+    metrics=None,
 ) -> LoadReport:
-    """One-call version of the paper's x-key attack experiment."""
+    """One-call version of the paper's x-key attack experiment.
+
+    ``metrics`` (an optional :class:`repro.obs.MetricsRegistry`) is
+    forwarded to the campaign runner, which records its deterministic
+    aggregates in the parent — attaching a registry (e.g. a perf
+    profiler's) never changes the report.
+    """
     sim = MonteCarloSimulator(
         SimulationConfig(
             params=params,
@@ -273,6 +280,7 @@ def simulate_uniform_attack(
             selection=selection,
             exact_rates=exact_rates,
             workers=workers,
+            metrics=metrics,
         )
     )
     return sim.uniform_attack(x)

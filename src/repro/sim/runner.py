@@ -98,10 +98,10 @@ def run_trials(
                     "each campaign must hold the configuration fixed"
                 )
             normalized[t] = vector.normalized_max
-        if metrics is not None and metrics.enabled:
-            _record_campaign_metrics(metrics, label, vectors, normalized)
         meta = dict(metadata or {})
         meta.setdefault("seed", seed)
+        if metrics is not None and metrics.enabled:
+            _record_campaign_metrics(metrics, label, vectors, normalized, meta)
         if monitor is not None and monitor.enabled:
             def _as_int(value):
                 return int(value) if isinstance(value, (int, np.integer)) else None
@@ -127,15 +127,25 @@ def _record_campaign_metrics(
     label: str,
     vectors,
     normalized: np.ndarray,
+    metadata: Optional[dict] = None,
 ) -> None:
     """Record one campaign's deterministic aggregates.
 
     Runs in the parent over the trial-ordered result list, so worker
     count cannot influence any value.  Per-node load counters sum the
     offered load each node saw across trials — the per-node series the
-    paper's Theorem 1 bounds.
+    paper's Theorem 1 bounds.  When the metadata carries the attack
+    shape (``x`` keys replicated ``c`` ways), the campaign's total
+    balls thrown (``trials * x * c``) lands in a counter so the perf
+    profiler can report balls/sec without re-deriving the workload.
     """
     metrics.counter("campaign_trials_total", campaign=label).inc(len(vectors))
+    meta = metadata or {}
+    x, c = meta.get("x"), meta.get("c")
+    if isinstance(x, (int, np.integer)) and isinstance(c, (int, np.integer)):
+        metrics.counter("campaign_balls_total", campaign=label).inc(
+            len(vectors) * int(x) * int(c)
+        )
     histogram = metrics.histogram("trial_normalized_max", campaign=label)
     histogram.observe_many(normalized.tolist())
     node_totals = np.zeros_like(vectors[0].loads, dtype=float)

@@ -1,0 +1,211 @@
+"""Profiler contract: deterministic op-counters, spans, memory, no-op path.
+
+The two load-bearing guarantees from ISSUE 5:
+
+- **determinism** — op-counters recorded through the engines' metrics
+  seams are bit-identical for every worker count (trial-order merge);
+- **non-interference** — attaching a profiler never changes an engine
+  result, and the disabled path stays byte-identical to the committed
+  golden fixture.
+"""
+
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.notation import SystemParameters
+from repro.obs import NULL_REGISTRY, NULL_TRACER, LoadMonitor, MonitorConfig
+from repro.perf import NULL_PROFILER, NullProfiler, Profiler, as_profiler
+from repro.sim.analytic import simulate_uniform_attack
+from repro.sim.eventsim import EventDrivenSimulator
+from repro.workload.adversarial import AdversarialDistribution
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+PARAMS = SystemParameters(n=50, m=1000, c=10, d=3, rate=10_000.0)
+
+
+class TickClock:
+    """Deterministic clock: +1.0 per call, starting at 0.0."""
+
+    def __init__(self):
+        self.now = -1.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+class TestOpCounters:
+    def test_count_and_flat_keys(self):
+        p = Profiler(trace_memory=False)
+        p.count("requests_total")
+        p.count("requests_total", 4)
+        p.count("cache_ops_total", 2, kind="get")
+        counts = p.op_counts()
+        assert counts["requests_total"] == 5
+        assert counts["cache_ops_total{kind=get}"] == 2
+
+    def test_metrics_seam_is_the_registry(self):
+        p = Profiler(trace_memory=False)
+        p.metrics.counter("balls_total").inc(7)
+        assert p.op_counts()["balls_total"] == 7
+
+
+class TestSpans:
+    def test_span_arithmetic_with_injected_clock(self):
+        p = Profiler(clock=TickClock(), trace_memory=False)
+        with p.span("outer"):
+            with p.span("inner"):
+                pass
+        aggregates = p.span_aggregates()
+        # Calls: outer-open=0, inner-open=1, inner-close=2, outer-close=3.
+        assert aggregates["outer"]["total_seconds"] == 3.0
+        assert aggregates["outer/inner"]["total_seconds"] == 1.0
+        assert aggregates["outer"]["count"] == 1
+
+
+class TestMemoryCapture:
+    def test_capture_records_peak(self):
+        p = Profiler()
+        with p.capture():
+            _ = np.zeros(200_000)
+        assert p.tracemalloc_peak_bytes is not None
+        assert p.tracemalloc_peak_bytes >= 200_000 * 8
+
+    def test_capture_keeps_maximum_across_windows(self):
+        p = Profiler()
+        with p.capture():
+            _ = np.zeros(200_000)
+        first = p.tracemalloc_peak_bytes
+        with p.capture():
+            pass
+        assert p.tracemalloc_peak_bytes == first
+
+    def test_capture_disabled(self):
+        p = Profiler(trace_memory=False)
+        with p.capture():
+            _ = np.zeros(10_000)
+        assert p.tracemalloc_peak_bytes is None
+
+    def test_snapshot_shape(self):
+        p = Profiler(trace_memory=False)
+        p.count("x")
+        with p.span("s"):
+            pass
+        snap = p.snapshot()
+        assert snap["ops"] == {"x": 1}
+        assert "s" in snap["spans"]
+        assert "tracemalloc_peak_bytes" in snap["memory"]
+
+
+class TestNullProfiler:
+    def test_shared_noop_sinks(self):
+        null = NullProfiler()
+        assert null.metrics is NULL_REGISTRY
+        assert null.tracer is NULL_TRACER
+        assert not null.enabled
+
+    def test_snapshot_empty(self):
+        assert NULL_PROFILER.snapshot()["ops"] == {}
+
+    def test_null_swallows_everything(self):
+        NULL_PROFILER.count("ignored", 5)
+        with NULL_PROFILER.span("ignored"):
+            pass
+        with NULL_PROFILER.capture():
+            pass
+        assert NULL_PROFILER.snapshot()["ops"] == {}
+
+    def test_as_profiler(self):
+        assert as_profiler(None) is NULL_PROFILER
+        p = Profiler(trace_memory=False)
+        assert as_profiler(p) is p
+
+
+class TestDeterminismAcrossWorkers:
+    """ISSUE 5 acceptance: op-counters bit-identical serial vs workers=4."""
+
+    def _campaign_counts(self, workers: int) -> dict:
+        profiler = Profiler(trace_memory=False)
+        simulate_uniform_attack(
+            PARAMS, 60, trials=8, seed=42, workers=workers,
+            metrics=profiler.metrics,
+        )
+        return profiler.op_counts()
+
+    def test_monte_carlo_counters_identical_serial_vs_parallel(self):
+        serial = self._campaign_counts(workers=1)
+        parallel = self._campaign_counts(workers=4)
+        assert serial, "campaign recorded no op-counters"
+        assert serial == parallel
+
+    def test_counters_identical_across_repeat_runs(self):
+        assert self._campaign_counts(workers=1) == self._campaign_counts(workers=1)
+
+    def test_eventsim_counters_identical_across_runs(self):
+        def run_once() -> dict:
+            profiler = Profiler(trace_memory=False)
+            sim = EventDrivenSimulator(
+                PARAMS, AdversarialDistribution(PARAMS.m, 60), seed=9,
+                metrics=profiler.metrics,
+            )
+            sim.run(2000, trial=0)
+            return profiler.op_counts()
+
+        first, second = run_once(), run_once()
+        assert first, "eventsim recorded no op-counters"
+        assert first == second
+
+
+class TestNonInterference:
+    """Attaching a profiler never changes an engine result."""
+
+    def test_monte_carlo_result_unchanged_by_profiler(self):
+        bare = simulate_uniform_attack(PARAMS, 60, trials=6, seed=7)
+        profiler = Profiler(trace_memory=False)
+        observed = simulate_uniform_attack(
+            PARAMS, 60, trials=6, seed=7, metrics=profiler.metrics
+        )
+        assert (
+            observed.normalized_max_per_trial == bare.normalized_max_per_trial
+        ).all()
+
+    def test_disabled_path_matches_committed_golden_fixture(self):
+        """Replays the golden eventsim run with the *null* profiler
+        attached; every pinned field must stay byte-identical."""
+        pinned = json.loads(
+            (GOLDEN_DIR / "eventsim_baseline.json").read_text(encoding="utf-8")
+        )
+        params = SystemParameters(n=20, m=500, c=10, d=3, rate=2000.0)
+        monitor = LoadMonitor(
+            MonitorConfig.from_params(params, x=11, window=0.05)
+        )
+        null = NullProfiler()
+        sim = EventDrivenSimulator(
+            params, AdversarialDistribution(500, 11), seed=7, monitor=monitor,
+            metrics=null.metrics, tracer=null.tracer,
+        )
+        result = sim.run(4000, trial=0)
+
+        def finite(value):
+            if isinstance(value, (int, np.integer)) or math.isfinite(value):
+                return value
+            return None
+
+        fresh = json.loads(json.dumps({
+            "duration": result.duration,
+            "frontend_hits": result.frontend_hits,
+            "backend_queries": result.backend_queries,
+            "served": result.served.tolist(),
+            "dropped": result.dropped.tolist(),
+            "loads": result.arrival_loads.loads.tolist(),
+            "normalized_max": result.normalized_max,
+            "drop_rate": result.drop_rate,
+            "latency_mean": finite(result.latency_mean),
+            "latency_p99": finite(result.latency_p99),
+            "cache_hit_rate": result.cache_hit_rate,
+        }, sort_keys=True, allow_nan=False))
+        assert fresh == pinned["result"]
