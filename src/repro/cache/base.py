@@ -68,6 +68,13 @@ class Cache(ABC):
     #: class name.
     POLICY: Optional[str] = None
 
+    #: True only for policies whose resident set never changes, where
+    #: ``access(key)`` is equivalent to membership in that fixed set and
+    #: touches nothing but the hit/miss counters.  The batched event
+    #: kernel relies on this contract to pre-resolve hit/miss decisions
+    #: for a whole run in one vectorized pass.
+    STATIC_RESIDENCY: bool = False
+
     def __init__(self, capacity: int) -> None:
         if capacity < 0:
             raise CacheError(f"capacity must be non-negative, got {capacity}")

@@ -29,6 +29,7 @@ class PerfectCache(Cache):
     """
 
     POLICY = "perfect"
+    STATIC_RESIDENCY = True
 
     def __init__(self, capacity: int, pinned: Sequence[int] = None) -> None:
         super().__init__(capacity)

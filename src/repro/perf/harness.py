@@ -208,6 +208,20 @@ def _manifest_workers(payload_dict: dict) -> Optional[int]:
     return None
 
 
+def _manifest_engines(payload_dict: dict) -> Optional[Dict[str, dict]]:
+    """Per-engine breakdown from the payload, when the bench records one."""
+    engines = payload_dict.get("engines")
+    if isinstance(engines, dict):
+        cleaned = {
+            str(name): dict(stats)
+            for name, stats in engines.items()
+            if isinstance(stats, dict)
+        }
+        if cleaned:
+            return cleaned
+    return None
+
+
 def _default_render(payload: Any, payload_dict: dict) -> str:
     if hasattr(payload, "render"):
         return payload.render()
@@ -339,6 +353,7 @@ class BenchSpec:
             git_sha=git_sha(cwd=bench_dir().parent),
             events=workload.get("events"),
             balls=workload.get("balls"),
+            engines=_manifest_engines(payload_dict),
             ops=snapshot["ops"],
             spans=snapshot["spans"],
             tracemalloc_peak_bytes=profiler.tracemalloc_peak_bytes,

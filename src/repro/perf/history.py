@@ -111,6 +111,7 @@ def trajectory_record(manifest: RunManifest) -> dict:
         "wall_seconds": manifest.wall_seconds,
         "events_per_second": manifest.events_per_second,
         "balls_per_second": manifest.balls_per_second,
+        "engines": manifest.engines,
         "tracemalloc_peak_bytes": manifest.tracemalloc_peak_bytes,
         "rss_peak_bytes": manifest.rss_peak_bytes,
         "workers": manifest.workers,

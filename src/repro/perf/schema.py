@@ -131,6 +131,10 @@ class RunManifest:
     timestamp: float = field(default_factory=time.time)
     events: Optional[int] = None
     balls: Optional[int] = None
+    #: Optional per-engine breakdown for benches that run the same
+    #: workload under several engines (``{"legacy": {...}, "fast":
+    #: {...}}`` with seconds / events / events_per_second per engine).
+    engines: Optional[Dict[str, dict]] = None
     ops: Dict[str, float] = field(default_factory=dict)
     spans: Dict[str, dict] = field(default_factory=dict)
     tracemalloc_peak_bytes: Optional[int] = None
@@ -176,6 +180,7 @@ class RunManifest:
                 "events_per_second": self.events_per_second,
                 "balls_per_second": self.balls_per_second,
             },
+            "engines": self.engines,
             "ops": dict(self.ops),
             "spans": {path: dict(stats) for path, stats in self.spans.items()},
             "memory": {
@@ -207,6 +212,7 @@ class RunManifest:
             timestamp=float(record["timestamp"]),
             events=throughput.get("events"),
             balls=throughput.get("balls"),
+            engines=record.get("engines"),
             ops=dict(record["ops"]),
             spans={p: dict(s) for p, s in record["spans"].items()},
             tracemalloc_peak_bytes=memory.get("tracemalloc_peak_bytes"),

@@ -23,7 +23,7 @@ class EventScheduler:
     """
 
     def __init__(self, metrics=None) -> None:
-        self._heap: List[Tuple[float, int, EventCallback]] = []
+        self._heap: List[Tuple[float, int, EventCallback, tuple]] = []
         self._seq = 0
         self._now = 0.0
         self._processed = 0
@@ -46,8 +46,14 @@ class EventScheduler:
         """Events fired so far."""
         return self._processed
 
-    def schedule(self, time: float, callback: EventCallback) -> None:
-        """Enqueue ``callback`` to fire at ``time``.
+    def schedule(
+        self, time: float, callback: EventCallback, args: tuple = ()
+    ) -> None:
+        """Enqueue ``callback(scheduler, time, *args)`` to fire at ``time``.
+
+        ``args`` lets hot callers pass per-event state (an epoch, a
+        request) as a plain tuple riding in the heap entry instead of
+        allocating a closure per event.
 
         Scheduling in the past is a logic error and raises immediately —
         silently reordering time would corrupt queueing statistics.
@@ -56,7 +62,7 @@ class EventScheduler:
             raise SimulationError(
                 f"cannot schedule at {time:.6f}: simulation time is already {self._now:.6f}"
             )
-        heapq.heappush(self._heap, (time, self._seq, callback))
+        heapq.heappush(self._heap, (time, self._seq, callback, args))
         self._seq += 1
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -74,14 +80,14 @@ class EventScheduler:
         """
         fired = 0
         while self._heap:
-            time, _, callback = self._heap[0]
+            time, _, callback, args = self._heap[0]
             if until is not None and time > until:
                 break
             if max_events is not None and fired >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}; runaway event loop?")
             heapq.heappop(self._heap)
             self._now = time
-            callback(self, time)
+            callback(self, time, *args)
             fired += 1
             self._processed += 1
         if self._metrics is not None:

@@ -27,11 +27,21 @@ from ..obs.tracer import as_tracer
 from ..rng import RngFactory
 from ..types import LoadVector
 from ..workload.distributions import KeyDistribution
+from . import kernel as _kernel
 from .engine import EventScheduler
 from .queueing import NodeServer
 from .requests import Request
 
 __all__ = ["EventDrivenSimulator", "EventSimResult"]
+
+
+def _latency_stats(latencies: np.ndarray) -> Tuple[float, float, float, float]:
+    """``(mean, p50, p95, p99)`` of a latency sample (``nan`` when empty)."""
+    if not latencies.size:
+        nan = float("nan")
+        return nan, nan, nan, nan
+    p50, p95, p99 = np.percentile(latencies, [50, 95, 99])
+    return float(latencies.mean()), float(p50), float(p95), float(p99)
 
 
 @dataclass(frozen=True)
@@ -170,6 +180,16 @@ class EventDrivenSimulator:
         surviving replica are counted unavailable (optionally served
         stale).  ``None`` keeps the run byte-identical to the pre-chaos
         engine — the default-off contract the observability sinks keep.
+    engine:
+        ``"legacy"`` (default) replays requests one event at a time
+        through the binary-heap scheduler; ``"fast"`` routes runs
+        through the batched struct-of-arrays kernel
+        (:mod:`repro.sim.kernel`) whenever the configuration allows it
+        — static cache residency, pin/random routing, no chaos — and
+        falls back to the legacy loop otherwise.  Both engines are
+        bit-identical in results, metrics, monitor telemetry and RNG
+        consumption; :attr:`last_engine` records which path the most
+        recent :meth:`run` actually took.
     """
 
     def __init__(
@@ -187,6 +207,7 @@ class EventDrivenSimulator:
         tracer=None,
         monitor=None,
         chaos: Optional[ChaosConfig] = None,
+        engine: str = "legacy",
     ) -> None:
         if distribution.m != params.m:
             raise ConfigurationError(
@@ -194,6 +215,8 @@ class EventDrivenSimulator:
             )
         if routing not in ("pin", "random", "least-outstanding"):
             raise ConfigurationError(f"unknown routing {routing!r}")
+        if engine not in ("legacy", "fast"):
+            raise ConfigurationError(f"unknown engine {engine!r}")
         if params.rate <= 0:
             raise ConfigurationError("event-driven simulation needs a positive rate")
         self._params = params
@@ -231,6 +254,11 @@ class EventDrivenSimulator:
                 f"chaos must be a ChaosConfig or None, got {type(chaos).__name__}"
             )
         self._chaos = chaos
+        self._engine = engine
+        #: Which path the most recent :meth:`run` took: ``"fast"`` when
+        #: the batched kernel ran, ``"legacy"`` otherwise (including
+        #: fast-engine runs that fell back).  ``None`` before any run.
+        self.last_engine: Optional[str] = None
 
     @property
     def cache(self) -> Cache:
@@ -241,6 +269,11 @@ class EventDrivenSimulator:
     def cluster(self) -> Cluster:
         """The back-end cluster."""
         return self._cluster
+
+    @property
+    def engine(self) -> str:
+        """The engine this simulator was configured with."""
+        return self._engine
 
     def _publish_run_metrics(
         self,
@@ -299,9 +332,21 @@ class EventDrivenSimulator:
 
         ``trial`` selects an independent randomness stream so repeated
         runs of the same simulator are statistically independent.
+
+        With ``engine="fast"`` the run goes through the batched kernel
+        when :func:`repro.sim.kernel.supports` allows it; the result is
+        bit-identical either way.
         """
         if n_queries < 1:
             raise SimulationError(f"need at least one query, got {n_queries}")
+        if self._engine == "fast" and _kernel.supports(self):
+            self.last_engine = "fast"
+            return _kernel.run_fast(self, n_queries, trial)
+        self.last_engine = "legacy"
+        return self._run_legacy(n_queries, trial)
+
+    def _run_legacy(self, n_queries: int, trial: int) -> EventSimResult:
+        """The per-event scheduler path (also the fast engine's fallback)."""
         params = self._params
         tracer = as_tracer(self._tracer)
         arrivals_gen = self._factory.generator("eventsim-arrivals", trial=trial)
@@ -476,6 +521,9 @@ class EventDrivenSimulator:
                     metrics.counter("chaos_crash_lost_total").inc(crash_lost)
             if monitor is not None:
                 monitor.finalize(duration)
+        latency_mean, latency_p50, latency_p95, latency_p99 = _latency_stats(
+            latencies
+        )
         return EventSimResult(
             duration=duration,
             frontend_hits=frontend_hits,
@@ -485,10 +533,10 @@ class EventDrivenSimulator:
             arrival_loads=arrival_loads,
             normalized_max=arrival_loads.normalized_max,
             drop_rate=float(dropped.sum() / backend) if backend else 0.0,
-            latency_mean=float(latencies.mean()) if latencies.size else float("nan"),
-            latency_p50=float(np.percentile(latencies, 50)) if latencies.size else float("nan"),
-            latency_p95=float(np.percentile(latencies, 95)) if latencies.size else float("nan"),
-            latency_p99=float(np.percentile(latencies, 99)) if latencies.size else float("nan"),
+            latency_mean=latency_mean,
+            latency_p50=latency_p50,
+            latency_p95=latency_p95,
+            latency_p99=latency_p99,
             cache_hit_rate=frontend_hits / n_queries,
             unavailable=chaos_stats["unavailable"],
             stale_hits=chaos_stats["stale_hits"],

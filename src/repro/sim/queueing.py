@@ -18,9 +18,14 @@ from ..rng import as_generator
 from .engine import EventScheduler
 from .requests import Request
 
-__all__ = ["NodeServer"]
+__all__ = ["DEFAULT_LATENCY_SAMPLE_LIMIT", "NodeServer"]
 
 RngLike = Union[None, int, np.random.Generator]
+
+#: Default cap on retained latency samples per node (uniform head
+#: sample); shared with the batched kernel so both engines truncate at
+#: the same point.
+DEFAULT_LATENCY_SAMPLE_LIMIT = 100_000
 
 
 class NodeServer:
@@ -43,6 +48,27 @@ class NodeServer:
         runs stay memory-bounded.
     """
 
+    __slots__ = (
+        "node_id",
+        "service_rate",
+        "queue_limit",
+        "_service",
+        "_rng",
+        "_queue",
+        "_in_service",
+        "_latency_sample_limit",
+        "down",
+        "_epoch",
+        "_rate_factor",
+        "arrivals",
+        "served",
+        "dropped",
+        "crash_lost",
+        "busy_time",
+        "latencies",
+        "_service_started",
+    )
+
     def __init__(
         self,
         node_id: int,
@@ -50,7 +76,7 @@ class NodeServer:
         queue_limit: int = 64,
         service: str = "deterministic",
         rng: RngLike = None,
-        latency_sample_limit: int = 100_000,
+        latency_sample_limit: int = DEFAULT_LATENCY_SAMPLE_LIMIT,
     ) -> None:
         if service_rate <= 0:
             raise ConfigurationError(f"service_rate must be positive, got {service_rate}")
@@ -151,13 +177,19 @@ class NodeServer:
     ) -> None:
         self._in_service = request
         self._service_started = start
-        epoch = self._epoch
+        # The scheduled epoch rides in the heap entry: if the node
+        # crashes before the event fires, the epoch bump turns the stale
+        # completion into a no-op without allocating a closure per
+        # served request.
+        scheduler.schedule(
+            start + self._service_time(), self._on_complete, (self._epoch,)
+        )
 
-        def complete(sched: EventScheduler, time: float) -> None:
-            if epoch == self._epoch:
-                self._complete(sched, time)
-
-        scheduler.schedule(start + self._service_time(), complete)
+    def _on_complete(
+        self, scheduler: EventScheduler, time: float, epoch: int
+    ) -> None:
+        if epoch == self._epoch:
+            self._complete(scheduler, time)
 
     def _complete(self, scheduler: EventScheduler, time: float) -> None:
         request = self._in_service

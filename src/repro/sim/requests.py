@@ -19,5 +19,7 @@ class Request:
         When the query reached the system (seconds since trial start).
     """
 
+    __slots__ = ("key", "arrival_time")
+
     key: int
     arrival_time: float

@@ -37,6 +37,19 @@ class TestConstruction:
         assert len(sim.cache) == 10
         assert 0 in sim.cache  # rank 0 is the Zipf head
 
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventDrivenSimulator(
+                _params(), UniformDistribution(500), engine="warp"
+            )
+
+    def test_engine_defaults_to_legacy(self):
+        sim = EventDrivenSimulator(_params(), UniformDistribution(500), seed=1)
+        assert sim.engine == "legacy"
+        assert sim.last_engine is None
+        sim.run(500)
+        assert sim.last_engine == "legacy"
+
     def test_mismatched_cluster_rejected(self):
         from repro.cluster.cluster import Cluster
 
@@ -132,6 +145,26 @@ class TestRun:
         )
         result = sim.run(10_000)
         assert result.cache_hit_rate < 0.2  # scan-flooded LRU barely hits
+
+    def test_fast_engine_reproducible(self):
+        params = _params()
+        a = EventDrivenSimulator(
+            params, UniformDistribution(500), seed=7, engine="fast"
+        ).run(2000)
+        b = EventDrivenSimulator(
+            params, UniformDistribution(500), seed=7, engine="fast"
+        ).run(2000)
+        assert a.normalized_max == b.normalized_max
+        assert (a.served == b.served).all()
+
+    def test_fast_engine_accounting_adds_up(self):
+        sim = EventDrivenSimulator(
+            _params(), UniformDistribution(500), seed=2, engine="fast"
+        )
+        result = sim.run(5000)
+        assert sim.last_engine == "fast"
+        assert result.frontend_hits + result.backend_queries == 5000
+        assert result.served.sum() + result.dropped.sum() == result.backend_queries
 
     def test_describe(self):
         sim = EventDrivenSimulator(_params(), UniformDistribution(500), seed=1)
