@@ -15,15 +15,16 @@ Run:  python examples/attack_lab.py        (~25 s)
 """
 
 from repro import SystemParameters, simulate_distribution
-from repro.adversary import (
-    AdaptiveProbingAdversary,
-    FixedSubsetFlood,
-    OptimalAdversary,
-    UniformFlood,
-    ZipfClient,
-)
+from repro.adversary import OptimalAdversary
 from repro.experiments.report import render_table
 from repro.obs import LoadMonitor, MonitorConfig
+from repro.scenario import (
+    BuildContext,
+    ComponentSpec,
+    ScenarioSpec,
+    build_component,
+    run_scenario,
+)
 from repro.sim.eventsim import EventDrivenSimulator
 
 TRIALS = 15
@@ -32,30 +33,50 @@ K_PRIME = 0.75
 
 
 def gains_against(system: SystemParameters) -> dict:
-    """Worst-case gain of each strategy against ``system``."""
+    """Worst-case gain of each strategy against ``system``.
 
-    def measure(distribution):
-        return simulate_distribution(
-            system, distribution, trials=TRIALS, seed=SEED
-        ).worst_case
+    Every strategy is a declarative adversary spec resolved through the
+    component registry — the same documents a campaign YAML would hold.
+    """
+
+    def measure(adversary: dict) -> float:
+        spec = ScenarioSpec.from_dict({
+            "scenario": 1,
+            "name": f"attack-lab/{adversary['kind']}",
+            "system": {
+                "n": system.n, "m": system.m, "c": system.c,
+                "d": system.d, "rate": system.rate,
+            },
+            "adversary": adversary,
+            "trials": TRIALS,
+            "seed": SEED,
+        })
+        return run_scenario(spec).stats["worst_case"]
 
     strategies = {
-        "flood x=c+1": FixedSubsetFlood(system, x=min(system.c + 1, system.m)),
-        "flood x=2c": FixedSubsetFlood(system, x=min(2 * system.c, system.m)),
-        "flood x=10c": FixedSubsetFlood(system, x=min(10 * system.c, system.m)),
-        "uniform (x=m)": UniformFlood(system),
-        "optimal (paper)": OptimalAdversary(system, k_prime=K_PRIME),
-        "zipf client (benign)": ZipfClient(system),
+        "flood x=c+1": {"kind": "subset-flood", "x": min(system.c + 1, system.m)},
+        "flood x=2c": {"kind": "subset-flood", "x": min(2 * system.c, system.m)},
+        "flood x=10c": {"kind": "subset-flood", "x": min(10 * system.c, system.m)},
+        "uniform (x=m)": {"kind": "uniform"},
+        "optimal (paper)": {"kind": "adversarial", "k_prime": K_PRIME},
+        "zipf client (benign)": {"kind": "zipf"},
     }
-    results = {name: measure(s.distribution()) for name, s in strategies.items()}
+    results = {name: measure(spec) for name, spec in strategies.items()}
 
-    # The adaptive prober gets the simulator itself as its oracle —
-    # black-box feedback, no knowledge of k.
-    prober = AdaptiveProbingAdversary(system, measure, probes=7)
-    prober.probe()
-    results[f"adaptive probe (found x={prober.distribution().x})"] = measure(
-        prober.distribution()
+    # The adaptive prober gets a simulator as its oracle — black-box
+    # feedback, no knowledge of k.  Built through the registry so the
+    # probing loop is wired exactly as `adversary: {kind: adaptive}`
+    # in a spec file would be.
+    prober = build_component(
+        "adversary",
+        ComponentSpec.from_data({"kind": "adaptive", "probes": 7}, "adversary"),
+        BuildContext(params=system, seed=SEED),
     )
+    prober.probe()
+    found_x = prober.distribution().x
+    results[f"adaptive probe (found x={found_x})"] = simulate_distribution(
+        system, prober.distribution(), trials=TRIALS, seed=SEED
+    ).worst_case
     return results
 
 

@@ -17,26 +17,39 @@ Scenarios (same adversary rate throughout):
 Run:  python examples/frontline_queueing.py        (~30 s)
 """
 
-from repro import EventDrivenSimulator, SystemParameters
-from repro.cache import FrequencyAdmissionCache, LRUCache
+from repro import SystemParameters
 from repro.experiments.report import render_table
-from repro.workload import AdversarialDistribution, CyclicScanDistribution
+from repro.scenario import ScenarioSpec, run_scenario
 
 N_QUERIES = 60_000
 SEED = 21
+CAPACITY_FACTOR = 1.5
 
 
-def run_scenario(name, params, distribution, cache=None, capacity_factor=1.5):
-    sim = EventDrivenSimulator(
-        params,
-        distribution,
-        cache=cache,
-        node_capacity=capacity_factor * params.even_split,
-        seed=SEED,
-    )
-    result = sim.run(N_QUERIES)
+def queueing_scenario(name, params, workload, cache="perfect"):
+    """One request-level scenario as a declarative spec document."""
+    return ScenarioSpec.from_dict({
+        "scenario": 1,
+        "name": name,
+        "system": {
+            "n": params.n, "m": params.m, "c": params.c,
+            "d": params.d, "rate": params.rate,
+            "node_capacity": CAPACITY_FACTOR * params.even_split,
+        },
+        "workload": workload,
+        "cache": cache,
+        "engine": "event-driven",
+        "trials": 1,
+        "queries": N_QUERIES,
+        "seed": SEED,
+    })
+
+
+def run_row(spec: ScenarioSpec) -> dict:
+    outcome = run_scenario(spec)
+    result = outcome.result.results[0]
     return {
-        "scenario": name,
+        "scenario": spec.name,
         "hit_rate": round(result.cache_hit_rate, 3),
         "backend_share": round(result.backend_queries / N_QUERIES, 3),
         "gain": round(result.normalized_max, 2),
@@ -48,26 +61,24 @@ def run_scenario(name, params, distribution, cache=None, capacity_factor=1.5):
 def main() -> None:
     base = SystemParameters(n=50, m=10_000, c=25, d=3, rate=25_000.0)
     provisioned = base.with_cache(200)  # ~4 entries per node: Case 2
-    attack_small = AdversarialDistribution(base.m, base.c + 1)
-    sweep = AdversarialDistribution(provisioned.m, provisioned.m)
-    scan = CyclicScanDistribution(provisioned.m, 4 * provisioned.c)
+    attack_small = {"kind": "adversarial", "x": base.c + 1}
+    sweep = {"kind": "adversarial", "x": provisioned.m}
+    scan = {"kind": "cyclic-scan", "x": 4 * provisioned.c}
 
-    rows = [
-        run_scenario("A: tiny cache, x=c+1 flood", base, attack_small),
-        run_scenario("B: provisioned, full sweep", provisioned, sweep),
-        run_scenario(
-            "C: provisioned but LRU, cyclic scan",
-            provisioned,
-            scan,
-            cache=LRUCache(provisioned.c),
+    specs = [
+        queueing_scenario("A: tiny cache, x=c+1 flood", base, attack_small),
+        queueing_scenario("B: provisioned, full sweep", provisioned, sweep),
+        queueing_scenario(
+            "C: provisioned but LRU, cyclic scan", provisioned, scan, cache="lru"
         ),
-        run_scenario(
+        queueing_scenario(
             "D: provisioned TinyLFU+LRU, cyclic scan",
             provisioned,
             scan,
-            cache=FrequencyAdmissionCache(LRUCache(provisioned.c)),
+            cache={"kind": "tinylfu", "inner": "lru"},
         ),
     ]
+    rows = [run_row(spec) for spec in specs]
     columns = {key: [row[key] for row in rows] for key in rows[0]}
     print(render_table(columns, title=f"{N_QUERIES} Poisson arrivals per scenario"))
     print(

@@ -18,13 +18,31 @@ from repro import (
     classify_attack,
     plan_best_attack,
     recommend,
-    simulate_distribution,
 )
-from repro.adversary import OptimalAdversary
+from repro.scenario import ScenarioSpec, run_scenario
 
 TRIALS = 25
 SEED = 7
 K_PRIME = 0.75  # substrate-calibrated Theta(1) remainder
+
+
+def attack_scenario(name: str, system: SystemParameters) -> ScenarioSpec:
+    """The paper-optimal attack on ``system`` as a declarative spec.
+
+    The same document could live in a YAML file and run via
+    ``python -m repro scenario run`` — see docs/SCENARIOS.md.
+    """
+    return ScenarioSpec.from_dict({
+        "scenario": 1,
+        "name": name,
+        "system": {
+            "n": system.n, "m": system.m, "c": system.c,
+            "d": system.d, "rate": system.rate,
+        },
+        "adversary": {"kind": "adversarial", "k_prime": K_PRIME},
+        "trials": TRIALS,
+        "seed": SEED,
+    })
 
 
 def main() -> None:
@@ -36,11 +54,8 @@ def main() -> None:
     print(f"adversary's plan    : {plan.describe()}")
 
     # 2. Execute it against the real (secretly seeded) placement.
-    adversary = OptimalAdversary(system, k_prime=K_PRIME)
-    outcome = simulate_distribution(
-        system, adversary.distribution(), trials=TRIALS, seed=SEED
-    )
-    verdict = classify_attack(outcome)
+    outcome = run_scenario(attack_scenario("quickstart/under-provisioned", system))
+    verdict = classify_attack(outcome.result)
     print(f"simulated outcome   : {verdict.describe()}\n")
 
     # 3. Provision the front-end cache per the paper's bound.
@@ -52,12 +67,9 @@ def main() -> None:
 
     # 4. Same adversary vs the provisioned system.
     protected = system.with_cache(report.required_cache)
-    adversary = OptimalAdversary(protected, k_prime=K_PRIME)
     print(f"re-planned attack   : {plan_best_attack(protected, k_prime=K_PRIME).describe()}")
-    outcome = simulate_distribution(
-        protected, adversary.distribution(), trials=TRIALS, seed=SEED
-    )
-    verdict = classify_attack(outcome)
+    outcome = run_scenario(attack_scenario("quickstart/provisioned", protected))
+    verdict = classify_attack(outcome.result)
     print(f"simulated outcome   : {verdict.describe()}")
     print(
         f"\ncache grew from {system.c} to {protected.c} entries "

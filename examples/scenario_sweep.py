@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario sweeps: one YAML document, a whole evaluation grid.
+
+The declarative layer (docs/SCENARIOS.md) turns the question "which
+cache policy holds up under a cyclic-scan attack, and how much does
+replication help?" into a campaign spec: a base scenario plus a sweep
+grid.  The campaign runner expands the grid, executes every cell
+through the registered engine, and emits a schema-versioned manifest
+plus a comparative HTML report — the exact artifacts
+``python -m repro scenario sweep`` produces from a file on disk.
+
+Run:  python examples/scenario_sweep.py        (~30 s)
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.scenario import loads_spec, run_campaign
+
+CAMPAIGN = """
+campaign: 1
+name: scan-resistance
+base:
+  system: {n: 50, m: 10000, c: 200, d: 3, rate: 25000.0}
+  workload: {kind: cyclic-scan, x: 800}
+  engine: event-driven
+  trials: 2
+  queries: 20000
+  seed: 21
+sweep:
+  cache.kind: [lru, sieve, tinylfu]
+  system.d: [2, 3]
+"""
+
+
+def main() -> None:
+    campaign = loads_spec(CAMPAIGN, fmt="yaml")
+    print(f"campaign {campaign.name!r}: grid {campaign.grid_shape} = "
+          f"{len(campaign.expand())} scenarios\n")
+
+    out_dir = Path(tempfile.mkdtemp(prefix="scenario-sweep-"))
+    result = run_campaign(
+        campaign,
+        out_dir=out_dir,
+        progress=lambda i, total, spec: print(f"[{i + 1}/{total}] {spec.name}"),
+    )
+
+    print()
+    print(result.describe())
+    print(
+        "\nreading the table: LRU collapses under the scan (hit rate ~0);\n"
+        "SIEVE and the TinyLFU admission filter keep most of the cache's\n"
+        "share; raising d lowers the relative imbalance on top.  The\n"
+        "manifest pins every spec + stat for regression diffing, and the\n"
+        "HTML report holds the side-by-side comparison table."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,10 +26,18 @@ import numpy as np
 
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError
+from ..scenario.registry import register_component
 from ..workload.adversarial import AdversarialDistribution
 from ..workload.distributions import CustomDistribution, KeyDistribution
 
 __all__ = ["MirroredBotnet", "PartitionedBotnet", "aggregate_rates"]
+
+
+def _botnet_example(ctx) -> dict:
+    """Smallest valid botnet against the context's system: flood past
+    the cache with enough keys that every bot gets a slice."""
+    x = min(ctx.params.m, max(2, ctx.params.c + 1))
+    return {"x": x, "clients": 2}
 
 
 def aggregate_rates(
@@ -53,6 +61,7 @@ def aggregate_rates(
     return total
 
 
+@register_component("adversary", "mirrored-botnet", example=_botnet_example)
 class MirroredBotnet:
     """``k`` bots, each sending the same x-key uniform pattern at R/k."""
 
@@ -89,6 +98,7 @@ class MirroredBotnet:
         return CustomDistribution(rates)
 
 
+@register_component("adversary", "partitioned-botnet", example=_botnet_example)
 class PartitionedBotnet:
     """``k`` bots splitting the ``x`` attacked keys into disjoint slices.
 

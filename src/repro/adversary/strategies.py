@@ -16,6 +16,7 @@ import numpy as np
 from ..core.cases import optimal_query_count
 from ..core.notation import SystemParameters
 from ..exceptions import ConfigurationError
+from ..scenario.registry import register_component
 from ..workload.adversarial import AdversarialDistribution
 from ..workload.distributions import KeyDistribution, UniformDistribution
 from ..workload.zipf import ZipfDistribution
@@ -49,6 +50,7 @@ class Adversary(ABC):
         """The access pattern this adversary sends."""
 
 
+@register_component("adversary", "adversarial")
 class OptimalAdversary(Adversary):
     """The paper's bound-optimal strategy (Theorem 1 + case analysis).
 
@@ -79,6 +81,9 @@ class OptimalAdversary(Adversary):
         return AdversarialDistribution(self._public.m, self._x)
 
 
+@register_component(
+    "adversary", "subset-flood", example=lambda ctx: {"x": ctx.params.c + 1}
+)
 class FixedSubsetFlood(Adversary):
     """Query a fixed prefix of ``x`` keys uniformly (no optimisation).
 
@@ -103,6 +108,7 @@ class FixedSubsetFlood(Adversary):
         return AdversarialDistribution(self._public.m, self._x)
 
 
+@register_component("adversary", "uniform")
 class UniformFlood(Adversary):
     """Query the entire key space uniformly.
 
@@ -118,6 +124,7 @@ class UniformFlood(Adversary):
         return UniformDistribution(self._public.m)
 
 
+@register_component("adversary", "zipf")
 class ZipfClient(Adversary):
     """Benign skewed traffic, Zipf(1.01) in Figure 4.
 
@@ -141,6 +148,27 @@ class ZipfClient(Adversary):
         return ZipfDistribution(self._public.m, self._s)
 
 
+def _build_adaptive(ctx, probes: int = 12, probe_trials: int = 3):
+    """Spec builder: close the probing loop with a small Monte-Carlo
+    simulator over the scenario's own system and seed, the same feedback
+    the integration tests use.  ``probe_trials`` sizes each probe's
+    campaign — probing cost is ``probes x probe_trials`` trials."""
+    from ..sim.analytic import MonteCarloSimulator
+    from ..sim.config import SimulationConfig
+
+    sim = MonteCarloSimulator(
+        SimulationConfig(params=ctx.params, trials=probe_trials, seed=ctx.seed)
+    )
+
+    def feedback(distribution: KeyDistribution) -> float:
+        return sim.distribution_attack(distribution).worst_case
+
+    return AdaptiveProbingAdversary(ctx.params, feedback, probes=probes)
+
+
+@register_component(
+    "adversary", "adaptive", example={"probes": 3}, builder=_build_adaptive
+)
 class AdaptiveProbingAdversary(Adversary):
     """Extension: find the best ``x`` empirically, without knowing ``k``.
 

@@ -45,33 +45,31 @@ __all__ = [
 ]
 
 
-_FACTORIES = {
-    "perfect": PerfectCache,
-    "fifo": FIFOCache,
-    "lru": LRUCache,
-    "random": RandomEvictionCache,
-    "clock": ClockCache,
-    "lfu": LFUCache,
-    "lfu-aging": LFUAgingCache,
-    "2q": TwoQCache,
-    "arc": ARCCache,
-    "slru": SLRUCache,
-    "sieve": SieveCache,
-}
-
-
 def make_cache(name: str, capacity: int, **kwargs) -> Cache:
     """Construct a cache policy by short name.
+
+    A thin shim over the scenario component registry
+    (:mod:`repro.scenario.registry`) — every policy class registers
+    itself where it is defined, so this factory and scenario specs
+    always agree on the available names.  Composite policies whose
+    wiring needs a full build context (e.g. ``tinylfu``) are
+    spec-only and excluded here, exactly as before the registry.
 
     >>> make_cache("lru", 4).capacity
     4
     """
     from ..exceptions import ConfigurationError
+    from ..scenario.registry import REGISTRY
 
+    simple = {
+        entry.name: entry.factory
+        for entry in REGISTRY.entries("cache")
+        if entry.builder is None
+    }
     try:
-        cls = _FACTORIES[name]
+        cls = simple[name]
     except KeyError:
         raise ConfigurationError(
-            f"unknown cache policy {name!r}; choose from {sorted(_FACTORIES)}"
+            f"unknown cache policy {name!r}; choose from {sorted(simple)}"
         ) from None
     return cls(capacity, **kwargs)

@@ -15,12 +15,29 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ..exceptions import CacheError
+from ..scenario.registry import register_component
 from .base import Cache, EvictingCache
 from .sketch import CountMinSketch
 
 __all__ = ["FrequencyAdmissionCache"]
 
 
+def _build_tinylfu(ctx, inner="lru", sample_size: int = 100_000, **inner_params):
+    """Spec builder: ``{kind: tinylfu, inner: lru, ...}`` wraps the inner
+    policy (itself resolved through the cache registry) in the filter."""
+    from ..scenario.build import build_component
+    from ..scenario.spec import ComponentSpec
+
+    inner_spec = (
+        ComponentSpec.from_data(inner, "cache.inner")
+        if not isinstance(inner, ComponentSpec)
+        else inner
+    )
+    inner_cache = build_component("cache", inner_spec, ctx, path="cache.inner")
+    return FrequencyAdmissionCache(inner_cache, sample_size=sample_size)
+
+
+@register_component("cache", "tinylfu", builder=_build_tinylfu)
 class FrequencyAdmissionCache(Cache):
     """Wrap an :class:`~repro.cache.base.EvictingCache` with a TinyLFU
     admission filter.

@@ -5,11 +5,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable
 
+from ..scenario.registry import register_component
 from .base import Cache
 
 __all__ = ["ARCCache"]
 
 
+@register_component("cache", "arc")
 class ARCCache(Cache):
     """ARC balances recency (T1) and frequency (T2) adaptively.
 

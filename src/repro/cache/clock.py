@@ -4,11 +4,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from ..scenario.registry import register_component
 from .base import EvictingCache
 
 __all__ = ["ClockCache"]
 
 
+@register_component("cache", "clock")
 class ClockCache(EvictingCache):
     """CLOCK: LRU approximation with one reference bit per entry.
 

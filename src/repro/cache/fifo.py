@@ -5,11 +5,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from ..scenario.registry import register_component
 from .base import EvictingCache
 
 __all__ = ["FIFOCache"]
 
 
+@register_component("cache", "fifo")
 class FIFOCache(EvictingCache):
     """FIFO: evict in insertion order, ignoring hits entirely.
 

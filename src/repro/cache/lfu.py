@@ -5,11 +5,13 @@ from __future__ import annotations
 from collections import OrderedDict, defaultdict
 from typing import Dict, Iterable, Optional
 
+from ..scenario.registry import register_component
 from .base import EvictingCache
 
 __all__ = ["LFUCache"]
 
 
+@register_component("cache", "lfu")
 class LFUCache(EvictingCache):
     """Exact LFU with O(1) operations via frequency buckets.
 

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from ..exceptions import CacheError
+from ..scenario.registry import register_component
 from .lfu import LFUCache
 
 __all__ = ["LFUAgingCache"]
 
 
+@register_component("cache", "lfu-aging")
 class LFUAgingCache(LFUCache):
     """LFU whose counters halve every ``aging_interval`` accesses.
 

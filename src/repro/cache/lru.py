@@ -5,11 +5,13 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Iterable, Optional
 
+from ..scenario.registry import register_component
 from .base import EvictingCache
 
 __all__ = ["LRUCache"]
 
 
+@register_component("cache", "lru")
 class LRUCache(EvictingCache):
     """Classic LRU over an :class:`~collections.OrderedDict`.
 

@@ -14,11 +14,13 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..exceptions import CacheError
+from ..scenario.registry import register_component
 from .base import Cache
 
 __all__ = ["PerfectCache"]
 
 
+@register_component("cache", "perfect")
 class PerfectCache(Cache):
     """Static cache holding a fixed set of (the most popular) keys.
 

@@ -7,11 +7,13 @@ from typing import Dict, Iterable, List, Optional, Union
 import numpy as np
 
 from ..rng import as_generator
+from ..scenario.registry import register_component
 from .base import EvictingCache
 
 __all__ = ["RandomEvictionCache"]
 
 
+@register_component("cache", "random")
 class RandomEvictionCache(EvictingCache):
     """Evict a uniformly random resident key.
 

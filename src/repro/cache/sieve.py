@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Optional
 
+from ..scenario.registry import register_component
 from .base import EvictingCache
 
 __all__ = ["SieveCache"]
@@ -19,6 +20,7 @@ class _Node:
         self.next: Optional["_Node"] = None
 
 
+@register_component("cache", "sieve")
 class SieveCache(EvictingCache):
     """SIEVE: lazy-promotion FIFO with a retention hand.
 

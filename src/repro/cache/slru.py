@@ -6,11 +6,13 @@ from collections import OrderedDict
 from typing import Iterable
 
 from ..exceptions import CacheError
+from ..scenario.registry import register_component
 from .base import Cache
 
 __all__ = ["SLRUCache"]
 
 
+@register_component("cache", "slru")
 class SLRUCache(Cache):
     """SLRU: a probationary LRU segment feeding a protected LRU segment.
 

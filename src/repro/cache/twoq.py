@@ -6,11 +6,13 @@ from collections import OrderedDict
 from typing import Iterable
 
 from ..exceptions import CacheError
+from ..scenario.registry import register_component
 from .base import Cache
 
 __all__ = ["TwoQCache"]
 
 
+@register_component("cache", "2q")
 class TwoQCache(Cache):
     """Simplified full 2Q: probation FIFO (A1in), ghost FIFO (A1out),
     protected LRU (Am).

@@ -30,6 +30,7 @@ from typing import Optional, Union
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..scenario.registry import register_component
 from .retry import RetryPolicy
 from .schedule import FailureSchedule
 
@@ -38,6 +39,20 @@ __all__ = ["ChaosConfig"]
 RngLike = Union[None, int, np.random.Generator]
 
 
+def _build_chaos(ctx, retry=None, **params):
+    """Spec builder: ``{kind: renewal, failure_rate: ..., retry: {...}}``.
+
+    Spec-side chaos carries the renewal-process parameters (an explicit
+    :class:`~repro.chaos.schedule.FailureSchedule` is not plain data, so
+    file specs cannot express it — synthesise per trial instead).
+    """
+    kwargs = dict(params)
+    if retry is not None:
+        kwargs["retry"] = RetryPolicy(**retry)
+    return ChaosConfig(**kwargs)
+
+
+@register_component("chaos", "renewal", builder=_build_chaos)
 @dataclass(frozen=True)
 class ChaosConfig:
     """Fault-injection parameters for a simulation campaign.

@@ -13,6 +13,11 @@ Commands
     the unreplicated SoCC'11 baseline for contrast.
 ``calibrate``
     Empirically measure the folded constant ``k`` for given ``(n, d)``.
+``scenario``
+    Declarative scenario specs (``run`` / ``list`` / ``validate`` /
+    ``sweep``): typed YAML/JSON specs resolved through the component
+    registry, campaign grids with manifest-tracked provenance and a
+    comparative HTML report.  See docs/SCENARIOS.md.
 ``replay``
     Event-driven replay of an attack (or benign) stream with the online
     monitor attached: sliding-window telemetry, the streaming gain
@@ -421,6 +426,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="output HTML path (default: perf_report.html)",
     )
 
+    scen = sub.add_parser(
+        "scenario",
+        help="declarative scenario specs: run, validate, sweep campaigns "
+        "(see docs/SCENARIOS.md)",
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+
+    scen_run = scen_sub.add_parser(
+        "run", help="run one scenario spec (YAML or JSON) and print its stats"
+    )
+    scen_run.add_argument("spec", type=str, help="scenario spec file")
+    scen_run.add_argument(
+        "--workers", type=int, default=None,
+        help="trial-execution processes (0 = all CPUs); overrides the "
+        "spec's 'workers' field; results are identical for any value",
+    )
+    scen_run.add_argument(
+        "--json", action="store_true",
+        help="print the stats as a JSON object instead of key: value lines",
+    )
+
+    scen_list = scen_sub.add_parser(
+        "list", help="list every registered component by namespace"
+    )
+    scen_list.add_argument(
+        "--namespace", type=str, default=None,
+        help="restrict to one registry namespace",
+    )
+    scen_list.add_argument(
+        "--examples", action="store_true",
+        help="one line per component with its minimal example params "
+        "(materialised against a small reference system)",
+    )
+
+    scen_validate = scen_sub.add_parser(
+        "validate", help="validate spec files without running anything"
+    )
+    scen_validate.add_argument(
+        "specs", nargs="+", type=str, metavar="SPEC", help="spec files to check"
+    )
+
+    scen_sweep = scen_sub.add_parser(
+        "sweep", help="expand a campaign spec's grid and run every scenario"
+    )
+    scen_sweep.add_argument("spec", type=str, help="campaign spec file")
+    scen_sweep.add_argument(
+        "--workers", type=int, default=None,
+        help="trial-execution processes per scenario (0 = all CPUs)",
+    )
+    scen_sweep.add_argument(
+        "--out", type=str, default=None, metavar="DIR",
+        help="write the schema-versioned manifest and the comparative "
+        "HTML report into DIR",
+    )
+
     return parser
 
 
@@ -678,6 +738,127 @@ def _run_perf(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def _run_scenario(args: argparse.Namespace) -> int:
+    # Imported lazily: the scenario package only loads for this
+    # subcommand (mirrors the perf subcommand's pattern).
+    from .exceptions import ReproError, ScenarioValidationError
+    from .scenario.build import check_spec
+    from .scenario.campaign import run_campaign as run_scenario_campaign
+    from .scenario.campaign import run_scenario
+    from .scenario.registry import REGISTRY, discover
+    from .scenario.spec import CampaignSpec, ScenarioSpec, load_spec
+
+    if args.scenario_command == "list":
+        discover()
+        namespaces = (
+            (args.namespace,) if args.namespace else REGISTRY.namespaces()
+        )
+        ctx = None
+        if args.examples:
+            from .scenario.build import BuildContext
+
+            ctx = BuildContext(
+                params=SystemParameters(n=20, m=500, c=10, d=3, rate=2000.0)
+            )
+        for namespace in namespaces:
+            try:
+                entries = REGISTRY.entries(namespace)
+            except ScenarioValidationError as exc:
+                print(f"scenario list: {exc}", file=sys.stderr)
+                return 2
+            if ctx is not None:
+                print(f"{namespace}:")
+                for entry in entries:
+                    params = (
+                        {} if namespace == "engine" else entry.example_params(ctx)
+                    )
+                    suffix = f"  {params}" if params else ""
+                    print(f"  {entry.name}{suffix}")
+            else:
+                print(
+                    f"{namespace}: "
+                    + ", ".join(entry.name for entry in entries)
+                )
+        return 0
+
+    if args.scenario_command == "validate":
+        status = 0
+        for path in args.specs:
+            try:
+                spec = load_spec(path)
+                check_spec(spec)
+            except ScenarioValidationError as exc:
+                print(f"scenario validate: {path}: {exc}", file=sys.stderr)
+                status = 2
+                continue
+            kind = "campaign" if isinstance(spec, CampaignSpec) else "scenario"
+            extra = (
+                f" ({len(spec.expand())} scenarios)"
+                if isinstance(spec, CampaignSpec)
+                else ""
+            )
+            print(f"{path}: OK — {kind} {spec.name!r}{extra}")
+        return status
+
+    if args.scenario_command == "run":
+        try:
+            spec = load_spec(args.spec)
+            if not isinstance(spec, ScenarioSpec):
+                raise ScenarioValidationError(
+                    f"{args.spec} is a campaign spec; use 'scenario sweep'",
+                    path="campaign",
+                )
+            outcome = run_scenario(spec, workers=args.workers)
+        except ScenarioValidationError as exc:
+            print(f"scenario run: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"scenario run: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            import json
+
+            print(json.dumps(outcome.stats, indent=2, sort_keys=True))
+        else:
+            print(f"scenario {spec.name!r} [{spec.engine.kind}]")
+            for key, value in outcome.stats.items():
+                print(f"  {key}: {value}")
+        return 0
+
+    if args.scenario_command == "sweep":
+        try:
+            campaign = load_spec(args.spec)
+            if not isinstance(campaign, CampaignSpec):
+                raise ScenarioValidationError(
+                    f"{args.spec} is a scenario spec; use 'scenario run'",
+                    path="scenario",
+                )
+            result = run_scenario_campaign(
+                campaign,
+                workers=args.workers,
+                out_dir=Path(args.out) if args.out else None,
+                progress=lambda i, total, spec: print(
+                    f"[{i + 1}/{total}] {spec.name} [{spec.engine.kind}]"
+                ),
+            )
+        except ScenarioValidationError as exc:
+            print(f"scenario sweep: {exc}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"scenario sweep: {exc}", file=sys.stderr)
+            return 1
+        print(result.describe())
+        if result.manifest_path is not None:
+            print(f"manifest written to {result.manifest_path}")
+        if result.report_path is not None:
+            print(f"report written to {result.report_path}")
+        return 0
+
+    raise AssertionError(
+        f"unhandled scenario command {args.scenario_command!r}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -695,6 +876,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay(args)
     if args.command == "perf":
         return _run_perf(args)
+    if args.command == "scenario":
+        return _run_scenario(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, PartitionError
 from ..rng import DEFAULT_SEED, RngFactory
+from ..scenario.registry import register_component
 from .. import ballsbins
 
 __all__ = [
@@ -78,6 +79,7 @@ class Partitioner(ABC):
         return group
 
 
+@register_component("partitioner", "hash")
 class HashPartitioner(Partitioner):
     """Keyed-hash partitioner over an unbounded key universe.
 
@@ -116,6 +118,7 @@ class HashPartitioner(Partitioner):
         return self._validate_group(np.asarray(group, dtype=np.int64), key)
 
 
+@register_component("partitioner", "consistent-hash")
 class ConsistentHashPartitioner(Partitioner):
     """Consistent-hash ring with virtual nodes (Karger et al., STOC'97).
 
@@ -183,6 +186,7 @@ class ConsistentHashPartitioner(Partitioner):
         return self._validate_group(np.asarray(group, dtype=np.int64), key)
 
 
+@register_component("partitioner", "random-table")
 class RandomTablePartitioner(Partitioner):
     """Explicit uniform table over a fixed key space ``0 .. m-1``.
 

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..rng import as_generator
+from ..scenario.registry import register_component
 
 __all__ = [
     "SelectionPolicy",
@@ -84,6 +85,7 @@ class SelectionPolicy(ABC):
         """
 
 
+@register_component("selection", "least-loaded")
 class LeastLoadedKeyPinning(SelectionPolicy):
     """Pin each key to its currently least-loaded replica (theory model).
 
@@ -111,6 +113,7 @@ class LeastLoadedKeyPinning(SelectionPolicy):
         return np.asarray(loads, dtype=float)
 
 
+@register_component("selection", "random-pin")
 class RandomKeyPinning(SelectionPolicy):
     """Pin each key to a uniformly random replica.
 
@@ -132,6 +135,7 @@ class RandomKeyPinning(SelectionPolicy):
         return loads
 
 
+@register_component("selection", "primary")
 class PrimaryKeyPinning(SelectionPolicy):
     """Pin each key to its first (primary) replica.
 
@@ -150,6 +154,7 @@ class PrimaryKeyPinning(SelectionPolicy):
         return loads
 
 
+@register_component("selection", "round-robin")
 class RoundRobinSpreading(SelectionPolicy):
     """Spread each key's queries evenly over all ``d`` replicas.
 
@@ -172,6 +177,7 @@ class RoundRobinSpreading(SelectionPolicy):
         return loads
 
 
+@register_component("selection", "per-query-random")
 class PerQueryRandomSpreading(SelectionPolicy):
     """Route each individual query to a random replica.
 
@@ -210,6 +216,18 @@ class PerQueryRandomSpreading(SelectionPolicy):
         return loads
 
 
+def _build_least_utilized(ctx, capacities=None):
+    """Spec builder: default to uniform capacities over the system's
+    ``n`` nodes (recovering least-loaded), so heterogeneous clusters are
+    opt-in via an explicit ``capacities`` list."""
+    if capacities is None:
+        capacities = np.ones(ctx.params.n)
+    return LeastUtilizedKeyPinning(capacities)
+
+
+@register_component(
+    "selection", "least-utilized", builder=_build_least_utilized
+)
 class LeastUtilizedKeyPinning(SelectionPolicy):
     """Pin each key to the replica with the lowest load/capacity ratio.
 
@@ -256,26 +274,22 @@ class LeastUtilizedKeyPinning(SelectionPolicy):
         return np.asarray(loads, dtype=float)
 
 
-_POLICIES = {
-    LeastLoadedKeyPinning.name: LeastLoadedKeyPinning,
-    LeastUtilizedKeyPinning.name: LeastUtilizedKeyPinning,
-    RandomKeyPinning.name: RandomKeyPinning,
-    PrimaryKeyPinning.name: PrimaryKeyPinning,
-    RoundRobinSpreading.name: RoundRobinSpreading,
-    PerQueryRandomSpreading.name: PerQueryRandomSpreading,
-}
-
-
 def make_selection_policy(name: str, **kwargs) -> SelectionPolicy:
     """Construct a selection policy by its :attr:`~SelectionPolicy.name`.
+
+    A thin shim over the scenario component registry
+    (:mod:`repro.scenario.registry`): every policy class registers
+    itself above, so this factory and scenario specs always agree on
+    the available names.
 
     >>> make_selection_policy("least-loaded").name
     'least-loaded'
     """
-    try:
-        cls = _POLICIES[name]
-    except KeyError:
+    from ..scenario.registry import REGISTRY
+
+    names = REGISTRY.names("selection")
+    if name not in names:
         raise ConfigurationError(
-            f"unknown selection policy {name!r}; choose from {sorted(_POLICIES)}"
+            f"unknown selection policy {name!r}; choose from {sorted(names)}"
         ) from None
-    return cls(**kwargs)
+    return REGISTRY.get("selection", name).factory(**kwargs)

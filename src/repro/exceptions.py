@@ -42,3 +42,17 @@ class PartitionError(ReproError):
 
 class AnalysisError(ReproError):
     """A post-hoc analysis step received data it cannot interpret."""
+
+
+class ScenarioValidationError(ConfigurationError):
+    """A scenario/campaign spec (or manifest) violates its declared schema.
+
+    Carries the dotted ``path`` of the offending field (``"cache.kind"``,
+    ``"system.d"``, ``"sweep.engine.kind[2]"``) so spec authors get a
+    pinpointed error instead of a stack trace — the message always
+    starts with that path.
+    """
+
+    def __init__(self, message: str, path: str = "") -> None:
+        super().__init__(message)
+        self.path = path

@@ -18,7 +18,12 @@ from .fig4 import run_fig4
 from .fig5 import run_fig5
 from .report import ExperimentResult
 
-__all__ = ["CampaignResult", "run_campaign", "FIGURE_DRIVERS"]
+__all__ = [
+    "CampaignResult",
+    "run_campaign",
+    "run_campaign_spec",
+    "FIGURE_DRIVERS",
+]
 
 #: Figure id -> driver.  fig5 runs once and serves both panels.
 FIGURE_DRIVERS: Dict[str, Callable[..., ExperimentResult]] = {
@@ -123,4 +128,43 @@ def run_campaign(
         results=tuple(results),
         elapsed_seconds=time.monotonic() - started,
         trials=trials,
+    )
+
+
+def run_campaign_spec(
+    spec,
+    figures: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    metrics=None,
+    tracer=None,
+    monitor=None,
+) -> CampaignResult:
+    """Spec-first figure campaign: execution knobs from a scenario spec.
+
+    Takes ``trials`` / ``seed`` / ``workers`` / ``chaos`` from a
+    :class:`~repro.scenario.spec.ScenarioSpec` (the chaos section is
+    materialised through the component registry) instead of threaded
+    kwargs; each figure keeps its own paper-mandated system parameters,
+    so the spec's ``system`` only scopes the chaos builder.  The kwargs
+    form above remains the compatible entry point — this shim routes
+    into it, keeping golden fixtures byte-identical.
+    """
+    from ..scenario.build import BuildContext, build_component
+
+    chaos = None
+    if spec.chaos is not None:
+        chaos = build_component(
+            "chaos", spec.chaos, BuildContext(spec.system, spec.seed),
+            path="chaos",
+        )
+    return run_campaign(
+        trials=spec.trials,
+        seed=spec.seed,
+        figures=figures,
+        progress=progress,
+        workers=spec.workers,
+        metrics=metrics,
+        tracer=tracer,
+        monitor=monitor,
+        chaos=chaos,
     )

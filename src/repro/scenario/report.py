@@ -1,0 +1,115 @@
+"""Comparative HTML report for campaign runs.
+
+One standalone page per campaign: the sweep grid, a scenario-by-stat
+comparison table, and a sparkline of worst-case normalized load across
+the grid — built from the same helpers the observability dashboard uses
+(:func:`repro.obs.dashboard.html_table` and friends), so campaign
+reports and monitor dashboards share one look and zero assets.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import List, Union
+
+from ..obs.dashboard import fmt, html_page, html_table, svg_sparkline
+from .manifest import validate_campaign_manifest
+
+__all__ = ["render_campaign_html", "write_campaign_html"]
+
+#: Stats rendered as columns when present, in display order.
+_STAT_COLUMNS = (
+    "engine",
+    "trials",
+    "worst_case",
+    "mean",
+    "p99",
+    "std",
+    "mean_hit_rate",
+    "mean_drop_rate",
+    "worst_drop_rate",
+    "worst_p99_latency",
+    "failure_events",
+    "unavailable",
+)
+
+
+def render_campaign_html(manifest: dict) -> str:
+    """Render one validated campaign manifest as a standalone page."""
+    validate_campaign_manifest(manifest)
+    scenarios = manifest["scenarios"]
+    columns_present = [
+        c
+        for c in _STAT_COLUMNS
+        if any(c in s["stats"] for s in scenarios)
+    ]
+    rows = []
+    for scenario in scenarios:
+        row = {"scenario": scenario["name"]}
+        row.update(
+            {c: scenario["stats"].get(c) for c in columns_present}
+        )
+        rows.append(row)
+
+    parts: List[str] = []
+    shape = manifest["grid_shape"]
+    grid = " × ".join(str(k) for k in shape) if shape else "1 (no sweep)"
+    provenance = [
+        f"campaign <b>{html.escape(manifest['campaign'])}</b>",
+        f"grid {html.escape(grid)}",
+        f"{len(scenarios)} scenario(s)",
+        f"workers {fmt(manifest['workers'])}",
+    ]
+    sha = manifest.get("git_sha")
+    if sha:
+        provenance.append(f"git {html.escape(str(sha)[:12])}")
+    parts.append("<p class=\"kv\">" + " · ".join(provenance) + "</p>")
+
+    worst = [
+        s["stats"].get("worst_case")
+        for s in scenarios
+        if isinstance(s["stats"].get("worst_case"), (int, float))
+    ]
+    if len(worst) > 1:
+        parts.append("<h2>worst-case normalized load across the grid</h2>")
+        parts.append(svg_sparkline([float(v) for v in worst]))
+
+    parts.append("<h2>scenario comparison</h2>")
+    parts.append(html_table(rows, ["scenario"] + columns_present))
+
+    base = manifest["spec"].get("base", {})
+    if base:
+        base_rows = [
+            {"field": key, "value": _flat(value)}
+            for key, value in sorted(base.items())
+        ]
+        parts.append("<h2>base scenario</h2>")
+        parts.append(html_table(base_rows, ["field", "value"]))
+    sweep = manifest["spec"].get("sweep", {})
+    if sweep:
+        sweep_rows = [
+            {"path": path, "values": _flat(values)}
+            for path, values in sorted(sweep.items())
+        ]
+        parts.append("<h2>sweep grid</h2>")
+        parts.append(html_table(sweep_rows, ["path", "values"]))
+
+    return html_page(f"Campaign: {manifest['campaign']}", parts)
+
+
+def _flat(value) -> str:
+    """One-cell rendering of a nested spec fragment."""
+    if isinstance(value, dict):
+        return ", ".join(f"{k}={_flat(v)}" for k, v in value.items())
+    if isinstance(value, list):
+        return "[" + ", ".join(_flat(v) for v in value) + "]"
+    return fmt(value)
+
+
+def write_campaign_html(manifest: dict, path: Union[str, Path]) -> Path:
+    """Write :func:`render_campaign_html` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_campaign_html(manifest), encoding="utf-8")
+    return path

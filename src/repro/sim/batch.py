@@ -10,6 +10,7 @@ hit-rate distributions, alongside the usual normalized-max-load report.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
@@ -121,12 +122,23 @@ def _event_campaign_trial(
     serial loop — so the executor-provided ``gen`` goes unused and the
     campaign stays bit-identical across worker counts.
 
+    Stateful inputs are deep-copied per trial for the same reason: a
+    scan distribution's cursor or a selection policy's counters would
+    otherwise advance across trials in whatever order the executor
+    happens to run them (all of them serially, a worker's share when
+    parallel), making results depend on the worker count.  Every trial
+    therefore starts from the caller's initial state.
+
     ``metrics`` / ``monitor`` are the per-trial registry and monitor the
     executor provides when the campaign is instrumented; the simulator
     publishes into them and the executor merges the snapshots in trial
     order.
     """
     del gen
+    distribution = copy.deepcopy(distribution)
+    if simulator_kwargs.get("cluster") is not None:
+        simulator_kwargs = dict(simulator_kwargs)
+        simulator_kwargs["cluster"] = copy.deepcopy(simulator_kwargs["cluster"])
     cache = cache_factory() if cache_factory is not None else None
     sim = EventDrivenSimulator(
         params, distribution, cache=cache, seed=seed, metrics=metrics,

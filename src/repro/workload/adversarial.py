@@ -13,11 +13,15 @@ import numpy as np
 from ..core.notation import SystemParameters
 from ..core.cases import optimal_query_count
 from ..exceptions import DistributionError
+from ..scenario.registry import register_component
 from .distributions import KeyDistribution
 
 __all__ = ["AdversarialDistribution"]
 
 
+@register_component(
+    "workload", "adversarial", example=lambda ctx: {"x": ctx.params.c + 1}
+)
 class AdversarialDistribution(KeyDistribution):
     """Uniform queries over the first ``x`` of ``m`` keys.
 

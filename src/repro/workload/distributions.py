@@ -19,6 +19,7 @@ import numpy as np
 
 from ..exceptions import DistributionError
 from ..rng import as_generator
+from ..scenario.registry import register_component
 
 __all__ = [
     "KeyDistribution",
@@ -102,6 +103,7 @@ class KeyDistribution(ABC):
         return np.argsort(-self.probabilities(), kind="stable")[:c].astype(np.int64)
 
 
+@register_component("workload", "uniform")
 class UniformDistribution(KeyDistribution):
     """Uniform over all ``m`` keys — Figure 4's load-balancing baseline."""
 
@@ -117,6 +119,7 @@ class UniformDistribution(KeyDistribution):
         return gen.integers(0, self._m, size=size, dtype=np.int64)
 
 
+@register_component("workload", "point-mass")
 class PointMassDistribution(KeyDistribution):
     """All mass on a single key — the crudest hotspot attack.
 
@@ -144,6 +147,7 @@ class PointMassDistribution(KeyDistribution):
         return probs
 
 
+@register_component("workload", "custom", example={"probs": [0.5, 0.3, 0.2]})
 class CustomDistribution(KeyDistribution):
     """Wrap an arbitrary probability vector (e.g. replayed from a trace)."""
 
@@ -165,6 +169,7 @@ class CustomDistribution(KeyDistribution):
         return self._probs.copy()
 
 
+@register_component("workload", "geometric")
 class GeometricDistribution(KeyDistribution):
     """Truncated geometric popularity: ``p_i proportional to ratio**i``.
 

@@ -24,11 +24,52 @@ import numpy as np
 
 from ..exceptions import DistributionError
 from ..rng import as_generator
+from ..scenario.registry import register_component
 from .distributions import KeyDistribution
 
 __all__ = ["MixtureDistribution"]
 
 
+def _build_mixture(ctx, components=()):
+    """Spec builder: each component is ``{weight: w, kind: ..., params}``
+    with the nested distribution resolved through the workload registry.
+
+    >>> # components: [{weight: 0.9, kind: zipf}, {weight: 0.1,
+    >>> #               kind: adversarial, x: 201}]
+    """
+    from ..exceptions import ScenarioValidationError
+    from ..scenario.build import build_component
+    from ..scenario.spec import ComponentSpec
+
+    pairs = []
+    for i, item in enumerate(components):
+        where = f"workload.components[{i}]"
+        if not isinstance(item, dict) or "weight" not in item:
+            raise ScenarioValidationError(
+                f"{where}: expected a mapping with 'weight' and 'kind' "
+                f"keys, got {item!r}",
+                path=where,
+            )
+        item = dict(item)
+        weight = item.pop("weight")
+        nested = build_component(
+            "workload", ComponentSpec.from_data(item, where), ctx, path=where
+        )
+        pairs.append((weight, nested))
+    return MixtureDistribution(pairs)
+
+
+_MIXTURE_EXAMPLE = {
+    "components": [
+        {"weight": 0.9, "kind": "zipf"},
+        {"weight": 0.1, "kind": "uniform"},
+    ]
+}
+
+
+@register_component(
+    "workload", "mixture", example=_MIXTURE_EXAMPLE, builder=_build_mixture
+)
 class MixtureDistribution(KeyDistribution):
     """Convex combination of component key distributions.
 

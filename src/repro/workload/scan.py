@@ -20,11 +20,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import DistributionError
+from ..scenario.registry import register_component
 from .adversarial import AdversarialDistribution
 
 __all__ = ["CyclicScanDistribution"]
 
 
+@register_component(
+    "workload", "cyclic-scan", example=lambda ctx: {"x": ctx.params.c + 1}
+)
 class CyclicScanDistribution(AdversarialDistribution):
     """The adversarial prefix distribution delivered as a cyclic scan.
 

@@ -11,11 +11,13 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import DistributionError
+from ..scenario.registry import register_component
 from .distributions import KeyDistribution
 
 __all__ = ["ZipfDistribution"]
 
 
+@register_component("workload", "zipf")
 class ZipfDistribution(KeyDistribution):
     """Truncated Zipf over ``m`` keys with exponent ``s``.
 

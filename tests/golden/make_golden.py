@@ -17,7 +17,11 @@ them silently (tests/test_golden_regression.py compares at 1e-9):
   curve (exercises the full sample -> partition -> allocate pipeline);
 - ``eventsim_baseline.json`` — one seeded event-driven run with the
   online monitor attached and chaos *off*: the byte-level contract that
-  fault injection must not perturb when disabled.
+  fault injection must not perturb when disabled;
+- ``scenarios/expected.json`` — pinned engine stats for every scenario
+  spec in ``scenarios/*.yaml`` and the deterministic manifest view for
+  every campaign spec there (tests/test_scenario_campaign.py compares
+  *exactly*, serial and at workers=4).
 
 Only regenerate when a change is *intended* to move reproduced numbers,
 and say so in the commit message.
@@ -36,6 +40,7 @@ GOLDEN_DIR = Path(__file__).parent
 
 def _dump(name: str, payload: dict) -> None:
     path = GOLDEN_DIR / name
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n",
         encoding="utf-8",
@@ -174,11 +179,33 @@ def eventsim_baseline() -> dict:
     }
 
 
+def scenario_campaigns() -> dict:
+    import os
+
+    from repro.scenario import load_spec, run_campaign, run_scenario
+    from repro.scenario.manifest import deterministic_view
+
+    # The pinned numbers are the *full-fidelity* runs; never generate
+    # them under the CI smoke caps.
+    os.environ.pop("REPRO_BENCH_SMOKE", None)
+
+    payload: dict = {"scenarios": {}, "campaigns": {}}
+    for path in sorted((GOLDEN_DIR / "scenarios").glob("*.yaml")):
+        spec = load_spec(path)
+        if hasattr(spec, "expand"):
+            result = run_campaign(spec)
+            payload["campaigns"][path.name] = deterministic_view(result.manifest)
+        else:
+            payload["scenarios"][path.name] = run_scenario(spec).stats
+    return payload
+
+
 def main() -> None:
     _dump("analytic_bounds.json", analytic_bounds())
     _dump("failures_expected.json", failures_expected())
     _dump("fig3_small_sim.json", fig3_small_sim())
     _dump("eventsim_baseline.json", eventsim_baseline())
+    _dump("scenarios/expected.json", scenario_campaigns())
 
 
 if __name__ == "__main__":

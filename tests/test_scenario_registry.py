@@ -1,0 +1,170 @@
+"""Registry contract tests: the lockdown layer of the scenario system.
+
+Two guarantees:
+
+1. **Constructibility** — every registered component builds from a
+   minimal spec (its registry ``example`` params) against a small
+   system context, through the same :func:`repro.scenario.build`
+   conventions a YAML file would use.  A component whose registration
+   rots (renamed kwarg, broken builder) fails here by name.
+2. **Completeness** — every concrete subclass of the component base
+   classes inside ``repro.*`` is registered.  Adding a new cache
+   policy / partitioner / selection rule / distribution / adversary
+   without the ``@register_component`` decorator fails CI with a named
+   diff, so nothing can silently stay spec-unaddressable.
+"""
+
+import inspect
+
+import pytest
+
+from repro.adversary.strategies import Adversary
+from repro.cache.base import Cache
+from repro.cluster.partitioner import Partitioner
+from repro.cluster.selection import SelectionPolicy
+from repro.core.notation import SystemParameters
+from repro.exceptions import ScenarioValidationError
+from repro.scenario.build import BuildContext, build_component
+from repro.scenario.campaign import run_scenario
+from repro.scenario.registry import NAMESPACES, REGISTRY, discover
+from repro.scenario.spec import ComponentSpec, ScenarioSpec
+from repro.workload.distributions import KeyDistribution
+
+#: Small but non-degenerate: every example must construct against it.
+SMALL = SystemParameters(n=16, m=300, c=8, d=3, rate=1000.0)
+CTX = BuildContext(params=SMALL, seed=3)
+
+#: Engines are run, not constructed — handled by their own test below.
+_CONSTRUCTIBLE_NAMESPACES = tuple(ns for ns in NAMESPACES if ns != "engine")
+
+
+def _component_cases():
+    discover()
+    return [
+        (namespace, name)
+        for namespace in _CONSTRUCTIBLE_NAMESPACES
+        for name in REGISTRY.names(namespace)
+    ]
+
+
+class TestConstructibility:
+    @pytest.mark.parametrize("namespace,name", _component_cases())
+    def test_builds_from_example_spec(self, namespace, name):
+        entry = REGISTRY.get(namespace, name)
+        spec = ComponentSpec.from_data(
+            {"kind": name, **entry.example_params(CTX)}, namespace
+        )
+        component = build_component(namespace, spec, CTX)
+        assert component is not None
+
+    @pytest.mark.parametrize("engine", REGISTRY.names("engine"))
+    def test_engine_runs_minimal_scenario(self, engine):
+        spec = ScenarioSpec.from_dict({
+            "scenario": 1,
+            "name": f"contract/{engine}",
+            "system": {"n": 16, "m": 300, "c": 8, "d": 3, "rate": 1000.0},
+            "adversary": {"kind": "subset-flood", "x": 9},
+            "engine": engine,
+            "trials": 1,
+            "queries": 300,
+            "seed": 3,
+        })
+        outcome = run_scenario(spec)
+        assert outcome.stats["engine"] == engine
+        assert outcome.stats["trials"] == 1
+        assert outcome.stats["worst_case"] is None or (
+            outcome.stats["worst_case"] >= 0
+        )
+
+
+class TestCompleteness:
+    """Every concrete component class in repro.* must be registered."""
+
+    BASES = (Cache, Partitioner, SelectionPolicy, KeyDistribution, Adversary)
+
+    @staticmethod
+    def _concrete_subclasses(base):
+        out, stack = set(), [base]
+        while stack:
+            cls = stack.pop()
+            for sub in cls.__subclasses__():
+                stack.append(sub)
+                # Only the library's own classes: test files and user
+                # code may subclass the bases without registering.
+                if not inspect.isabstract(sub) and sub.__module__.startswith(
+                    "repro."
+                ):
+                    out.add(sub)
+        return out
+
+    def test_every_concrete_component_is_registered(self):
+        discover()
+        registered = {
+            entry.factory
+            for namespace in NAMESPACES
+            for entry in REGISTRY.entries(namespace)
+            if isinstance(entry.factory, type)
+        }
+        concrete = set()
+        for base in self.BASES:
+            concrete |= self._concrete_subclasses(base)
+        missing = sorted(
+            f"{cls.__module__}.{cls.__name__}"
+            for cls in concrete
+            if cls not in registered
+        )
+        assert not missing, (
+            "concrete component classes without @register_component "
+            f"(add the decorator where each is defined): {missing}"
+        )
+
+    def test_namespace_census(self):
+        """The floor per namespace — a pruned DISCOVER_MODULES entry
+        would empty a namespace without failing constructibility."""
+        discover()
+        floor = {
+            "workload": 8,
+            "cache": 12,
+            "partitioner": 3,
+            "selection": 6,
+            "adversary": 7,
+            "chaos": 1,
+            "engine": 2,
+        }
+        assert set(floor) == set(NAMESPACES)
+        for namespace, minimum in floor.items():
+            names = REGISTRY.names(namespace)
+            assert len(names) >= minimum, (
+                f"{namespace}: expected >= {minimum} registered components, "
+                f"found {list(names)}"
+            )
+
+
+class TestRegistrySemantics:
+    def test_unknown_name_lists_choices(self):
+        discover()
+        with pytest.raises(ScenarioValidationError) as err:
+            REGISTRY.get("cache", "no-such-policy", path="cache.kind")
+        assert err.value.path == "cache.kind"
+        assert "lru" in str(err.value)
+
+    def test_unknown_namespace_rejected(self):
+        with pytest.raises(ScenarioValidationError):
+            REGISTRY.get("flux-capacitor", "lru")
+
+    def test_reregistering_same_factory_is_idempotent(self):
+        discover()
+        entry = REGISTRY.get("cache", "lru")
+        again = REGISTRY.register("cache", "lru", entry.factory)
+        assert again.factory is entry.factory
+
+    def test_rebinding_name_to_different_factory_fails(self):
+        discover()
+        with pytest.raises(ScenarioValidationError) as err:
+            REGISTRY.register("cache", "lru", object())
+        assert "already registered" in str(err.value)
+
+    def test_example_params_materialise_against_context(self):
+        discover()
+        params = REGISTRY.get("adversary", "subset-flood").example_params(CTX)
+        assert params == {"x": SMALL.c + 1}
