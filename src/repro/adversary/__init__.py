@@ -13,6 +13,7 @@ from .strategies import (
     Adversary,
     FixedSubsetFlood,
     OptimalAdversary,
+    ShardTargetingAdversary,
     UniformFlood,
     ZipfClient,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "UniformFlood",
     "ZipfClient",
     "AdaptiveProbingAdversary",
+    "ShardTargetingAdversary",
     "plan_attack",
     "compare_with_baseline",
 ]

@@ -19,6 +19,7 @@ from ..exceptions import ConfigurationError
 from ..scenario.registry import register_component
 from ..workload.adversarial import AdversarialDistribution
 from ..workload.distributions import KeyDistribution, UniformDistribution
+from ..workload.keyset import KeySetDistribution
 from ..workload.zipf import ZipfDistribution
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "UniformFlood",
     "ZipfClient",
     "AdaptiveProbingAdversary",
+    "ShardTargetingAdversary",
 ]
 
 
@@ -146,6 +148,114 @@ class ZipfClient(Adversary):
 
     def distribution(self) -> ZipfDistribution:
         return ZipfDistribution(self._public.m, self._s)
+
+
+def _build_shard_flood(
+    ctx, x: Optional[int] = None, shards: int = 2, target: int = 0,
+    seed: Optional[int] = None,
+):
+    """Spec builder: default the layer hash seed to the scenario's own.
+
+    In-scenario this models the worst case for a cache tree: an insider
+    who learned the edge layer's hash seed and floods the keys of one
+    shard.  ``x`` defaults to ``c + 1`` (one key past the cache, the
+    Theorem-1 sweet spot scaled down to one shard)."""
+    if x is None:
+        x = ctx.params.c + 1
+    return ShardTargetingAdversary(
+        ctx.params, x=x, shards=shards, target=target,
+        seed=ctx.seed if seed is None else seed,
+    )
+
+
+@register_component(
+    "adversary",
+    "shard-flood",
+    example=lambda ctx: {"x": ctx.params.c + 1, "shards": 2},
+    builder=_build_shard_flood,
+)
+class ShardTargetingAdversary(Adversary):
+    """Flood keys that all hash to *one* edge cache shard.
+
+    The DistCache threat model: a flat cache absorbs any ``x <= c``
+    flood, but a partitioned cache layer only absorbs what each shard
+    can hold — an adversary who knows (or guesses) the edge layer's
+    hash concentrates its ``x`` keys on a single shard, overloading it
+    while the other shards idle.  Independent per-layer hashes plus
+    two-choice routing are exactly the defense: the same keys land on
+    *different* shards of the next layer, so the hierarchy re-spreads
+    the attack (``benchmarks/bench_tree.py`` measures the gain both
+    ways).
+
+    Key discovery scans ``0 .. m-1`` through the same
+    :class:`~repro.cluster.hierarchy.LayeredPartitioner` edge layer a
+    tree built from ``(seed, shards)`` uses — layer secrets depend only
+    on the seed and layer index, so the reconstruction is exact.
+
+    Parameters
+    ----------
+    public:
+        Public system parameters (``m`` bounds the scan).
+    x:
+        Number of distinct keys to flood (the attack width).
+    shards:
+        Edge layer width of the targeted tree.
+    target:
+        Which edge shard to concentrate on.
+    seed:
+        The tree's layered-partitioner seed (the leaked secret).
+    """
+
+    name = "shard-flood"
+
+    def __init__(
+        self,
+        public: SystemParameters,
+        x: int,
+        shards: int = 2,
+        target: int = 0,
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(public)
+        if not 1 <= x <= public.m:
+            raise ConfigurationError(f"need 1 <= x <= m={public.m}, got x={x}")
+        if shards < 1:
+            raise ConfigurationError(f"need at least one shard, got {shards}")
+        if not 0 <= target < shards:
+            raise ConfigurationError(
+                f"target shard must be in [0, {shards}), got {target}"
+            )
+        from ..cluster.hierarchy import LayeredPartitioner
+
+        partitioner = LayeredPartitioner((shards,), seed=seed)
+        assignments = partitioner.assign_many(0, np.arange(public.m))
+        candidates = np.flatnonzero(assignments == target)
+        if candidates.size == 0:
+            raise ConfigurationError(
+                f"no key in [0, {public.m}) hashes to shard {target}"
+            )
+        self._x = int(min(x, candidates.size))
+        self._target = target
+        self._shards = shards
+        self._keys = candidates[: self._x]
+
+    @property
+    def x(self) -> int:
+        """Number of keys flooded (clamped to the shard's key count)."""
+        return self._x
+
+    @property
+    def target(self) -> int:
+        """The edge shard under attack."""
+        return self._target
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The flooded keys (all hashing to the target shard)."""
+        return self._keys.copy()
+
+    def distribution(self) -> KeySetDistribution:
+        return KeySetDistribution(self._public.m, self._keys)
 
 
 def _build_adaptive(ctx, probes: int = 12, probe_trials: int = 3):

@@ -23,6 +23,7 @@ from .slru import SLRUCache
 from .sieve import SieveCache
 from .sketch import CountMinSketch
 from .admission import FrequencyAdmissionCache
+from .tree import CacheTree
 
 __all__ = [
     "Cache",
@@ -41,6 +42,7 @@ __all__ = [
     "SieveCache",
     "CountMinSketch",
     "FrequencyAdmissionCache",
+    "CacheTree",
     "make_cache",
 ]
 

@@ -338,6 +338,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_monitor_flags(replay)
     _add_chaos_flags(replay)
 
+    tree = sub.add_parser(
+        "tree",
+        help="cache-hierarchy (DistCache) comparison: shard-targeting "
+        "attack vs flat and tree defenses",
+    )
+    tree.add_argument("--nodes", "-n", type=int, default=50, help="back-end nodes n")
+    tree.add_argument("--items", "-m", type=int, default=5_000, help="stored items m")
+    tree.add_argument("--cache", "-c", type=int, default=40, help="per-cache capacity c")
+    tree.add_argument("--replication", "-d", type=int, default=3, help="replication d")
+    tree.add_argument("--rate", "-R", type=float, default=20_000.0, help="offered rate R (qps)")
+    tree.add_argument("--edges", type=int, default=2, help="edge-layer cache shards")
+    tree.add_argument(
+        "--aggregates", type=int, default=1, help="aggregate-layer cache shards"
+    )
+    tree.add_argument(
+        "--policy", type=str, default="lru",
+        help="replacement policy for every cache shard (registry name)",
+    )
+    tree.add_argument(
+        "--layer-selection",
+        choices=("cascade", "two-choice"),
+        default="two-choice",
+        help="inter-layer routing (default: DistCache's two-choice)",
+    )
+    tree.add_argument(
+        "--x", type=int, default=None,
+        help="attack width: keys flooded onto one edge shard (default c + 1)",
+    )
+    tree.add_argument(
+        "--target", type=int, default=0, help="edge shard the adversary floods"
+    )
+    tree.add_argument("--queries", type=int, default=20_000, help="queries per trial")
+    tree.add_argument("--trials", type=int, default=2, help="independent replays")
+    tree.add_argument("--seed", type=int, default=None, help="root RNG seed")
+    tree.add_argument(
+        "--workers", type=int, default=1,
+        help="trial-execution processes (0 = all CPUs); results are "
+        "identical for any value",
+    )
+    tree.add_argument(
+        "--k-prime", type=float, default=None,
+        help="Theta(1) remainder k' for both bounds (default: "
+        "substrate-calibrated)",
+    )
+    _add_metrics_flags(tree)
+    _add_monitor_flags(tree)
+
     cal = sub.add_parser("calibrate", help="measure the folded constant k empirically")
     cal.add_argument("--nodes", "-n", type=int, default=PAPER.n)
     cal.add_argument("--replication", "-d", type=int, default=PAPER.d)
@@ -608,6 +655,108 @@ def _run_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flat_cache_factory(policy: str, capacity: int):
+    """Top-level (picklable) flat-cache factory for parallel campaigns."""
+    from .cache import make_cache
+
+    return make_cache(policy, capacity)
+
+
+def _tree_cache_factory(ctx, layers, selection: str):
+    """Top-level (picklable) cache-tree factory for parallel campaigns."""
+    from .cache.tree import _build_tree
+
+    return _build_tree(ctx, layers=layers, selection=selection)
+
+
+def _run_tree(args: argparse.Namespace) -> int:
+    import functools
+
+    from .adversary.strategies import ShardTargetingAdversary
+    from .core.bounds import (
+        DEFAULT_CALIBRATED_K_PRIME,
+        normalized_max_load_bound,
+    )
+    from .obs import LoadMonitor, MonitorConfig
+    from .scenario.build import BuildContext
+    from .sim.batch import run_event_campaign
+
+    params = SystemParameters(
+        n=args.nodes, m=args.items, c=args.cache, d=args.replication,
+        rate=args.rate,
+    )
+    k_prime = DEFAULT_CALIBRATED_K_PRIME if args.k_prime is None else args.k_prime
+    seed = 0 if args.seed is None else args.seed
+    x = args.cache + 1 if args.x is None else args.x
+    adversary = ShardTargetingAdversary(
+        params, x=x, shards=args.edges, target=args.target, seed=seed,
+    )
+    x = adversary.x  # clamped to the target shard's key count
+    ctx = BuildContext(params=params, seed=seed)
+    layers = [
+        {"shards": args.edges, "cache": args.policy},
+        {"shards": args.aggregates, "cache": args.policy},
+    ]
+    defenses = [
+        ("flat", functools.partial(_flat_cache_factory, args.policy, args.cache)),
+        (
+            f"tree[{args.edges}x{args.aggregates} {args.layer_selection}]",
+            functools.partial(_tree_cache_factory, ctx, layers,
+                              args.layer_selection),
+        ),
+    ]
+    metrics, tracer = _metrics_sinks(args)
+    theorem2 = normalized_max_load_bound(params, x, k_prime=k_prime)
+    print(
+        f"shard-flood: x={x} keys on edge shard {args.target}/{args.edges} "
+        f"(n={params.n}, m={params.m}, c={params.c}, d={params.d})"
+    )
+    print(f"Theorem-2 bound at x={x}: {theorem2:.3f}")
+    last_monitor = None
+    for name, cache_factory in defenses:
+        config = MonitorConfig.from_params(
+            params, x=x, window=args.window, k_prime=k_prime,
+        )
+        base = _monitor_sink(args, **{
+            k: getattr(config, k)
+            for k in ("n", "rate", "c", "d", "x", "k_prime")
+        })
+        monitor = base if base is not None else LoadMonitor(config)
+        campaign = run_event_campaign(
+            params,
+            adversary.distribution(),
+            trials=args.trials,
+            n_queries=args.queries,
+            seed=args.seed,
+            cache_factory=cache_factory,
+            workers=args.workers,
+            metrics=metrics,
+            tracer=tracer,
+            monitor=monitor,
+        )
+        print(f"\n== defense: {name} ==")
+        print(campaign.describe())
+        layer_rows = [
+            row
+            for summary in monitor.summaries
+            for row in summary.get("layers", ())
+        ]
+        if layer_rows:
+            print("per-layer shard load vs the DistCache two-choice bound:")
+            for row in layer_rows:
+                status = "ok" if row["within_bound"] else "VIOLATED"
+                print(
+                    f"  trial layer {row['layer']} ({row['shards']} shard(s), "
+                    f"{row['keys']} keys): busiest shard served "
+                    f"{row['shard_max']}/{row['hits']} hits, "
+                    f"bound {row['distcache_bound']:.1f} [{status}]"
+                )
+        last_monitor = monitor
+    _write_metrics(args, metrics, tracer)
+    _write_monitor(args, last_monitor)
+    return 0
+
+
 def _run_provision(args: argparse.Namespace) -> int:
     params = SystemParameters(
         n=args.nodes, m=args.items, c=args.cache, d=args.replication, rate=args.rate
@@ -874,6 +1023,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_calibrate(args)
     if args.command == "replay":
         return _run_replay(args)
+    if args.command == "tree":
+        return _run_tree(args)
     if args.command == "perf":
         return _run_perf(args)
     if args.command == "scenario":

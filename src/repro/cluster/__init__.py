@@ -24,6 +24,13 @@ from .selection import (
     SelectionPolicy,
     make_selection_policy,
 )
+from .hierarchy import (
+    CascadeLayerSelection,
+    LayeredPartitioner,
+    LayerSelection,
+    TwoChoiceLayerSelection,
+    make_layer_selection,
+)
 from .cluster import Cluster
 from .health import ClusterHealth, assess_health
 from .rebalance import MigrationPlan, grow_ring, migration_plan
@@ -49,6 +56,11 @@ __all__ = [
     "RoundRobinSpreading",
     "PerQueryRandomSpreading",
     "make_selection_policy",
+    "LayeredPartitioner",
+    "LayerSelection",
+    "CascadeLayerSelection",
+    "TwoChoiceLayerSelection",
+    "make_layer_selection",
     "Cluster",
     "ClusterHealth",
     "assess_health",

@@ -43,6 +43,7 @@ __all__ = [
     "loglog_over_logd",
     "fold_constant_k",
     "balls_in_bins_key_bound",
+    "distcache_max_load_bound",
     "expected_max_load_bound",
     "normalized_max_load_bound",
 ]
@@ -108,6 +109,39 @@ def balls_in_bins_key_bound(balls: int, bins: int, d: int, k_prime: float = 0.0)
     if balls == 0:
         return 0.0
     return balls / bins + fold_constant_k(bins, d, k_prime)
+
+
+def distcache_max_load_bound(
+    hits: int, shards: int, keys: int, k_prime: float = 0.0
+) -> float:
+    """DistCache per-layer max-load bound on hits served by any one shard.
+
+    DistCache (Liu et al., NSDI'19) gives every key one candidate shard
+    per layer via *independent* hashes and routes each query to the
+    less-loaded candidate — the power-of-two-choices process Eq. (6)
+    analyses, with the layer's ``shards`` as the bins, the ``keys``
+    distinct hot keys as the balls, and ``d = 2`` fixed by the two
+    candidate layers.  Mirroring the step from Eq. (6) to Eq. (7), the
+    key-count bound converts to a load bound by the mean per-key hit
+    rate ``hits / keys``::
+
+        shard_max <= [keys/shards + k(shards, 2, k')] * hits/keys
+                   = hits/shards + k * hits/keys
+
+    A single-shard layer trivially serves every hit, so the bound
+    collapses to ``hits`` exactly (no Theta(1) slack); a layer that
+    served nothing gets 0.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be positive, got {shards}")
+    if hits < 0 or keys < 0:
+        raise ConfigurationError("hits and keys must be non-negative")
+    if hits == 0 or keys == 0:
+        return 0.0
+    if shards == 1:
+        return float(hits)
+    k = fold_constant_k(shards, 2, k_prime)
+    return hits / shards + k * (hits / keys)
 
 
 def expected_max_load_bound(

@@ -48,7 +48,7 @@ from typing import Callable, Optional, Set, Tuple
 
 import numpy as np
 
-from ..core.bounds import fold_constant_k
+from ..core.bounds import distcache_max_load_bound, fold_constant_k
 from ..exceptions import ConfigurationError
 from .alerts import AlertEngine, BUILTIN_RULES
 from .events import SCHEMA_VERSION, EventLog
@@ -318,6 +318,12 @@ class LoadMonitor:
         self._win_max_down = 0
         self._cum_unavailable = 0
         self._min_effective_d: Optional[float] = None
+        # Hierarchy state; inert unless begin_run(layers=...) declares a
+        # cache tree's layer widths.
+        self._layers: Optional[Tuple[int, ...]] = None
+        self._cum_layer_hits: list = []
+        self._cum_shard_hits: list = []
+        self._layer_keys: list = []
 
     # -- introspection -----------------------------------------------------
 
@@ -393,6 +399,7 @@ class LoadMonitor:
         n: Optional[int] = None,
         rate: Optional[float] = None,
         chaos: bool = False,
+        layers: Optional[Tuple[int, ...]] = None,
     ) -> None:
         """Start (or restart) ingesting one event-driven run.
 
@@ -403,6 +410,16 @@ class LoadMonitor:
         the run summary gain ``unavailable`` / ``nodes_down`` /
         ``effective_d`` / ``degraded_bound`` fields.  The default keeps
         every record byte-identical to a chaos-free monitor.
+
+        ``layers`` (set by the engine when the front end is a
+        :class:`~repro.cache.tree.CacheTree`) declares the hierarchy's
+        shard count per layer and enables per-layer tracking: window
+        snapshots gain a ``layer_hits`` map and the run summary a
+        ``layers`` block reporting each layer's shard max-load against
+        the DistCache two-choice bound, side by side with the Theorem-2
+        gain estimate.  ``None`` (the default, and what degenerate
+        single-shard trees produce) keeps every record byte-identical
+        to a flat-cache monitor.
         """
         if self._run_open:
             raise ConfigurationError(
@@ -432,6 +449,15 @@ class LoadMonitor:
         self._win_max_down = 0
         self._cum_unavailable = 0
         self._min_effective_d = None
+        self._layers = tuple(int(w) for w in layers) if layers else None
+        if self._layers is not None:
+            self._cum_layer_hits = [0] * len(self._layers)
+            self._cum_shard_hits = [[0] * w for w in self._layers]
+            self._layer_keys = [set() for _ in self._layers]
+        else:
+            self._cum_layer_hits = []
+            self._cum_shard_hits = []
+            self._layer_keys = []
 
     def _window_at(self, t: float) -> WindowAccumulator:
         """The accumulator covering ``t``, closing the previous window."""
@@ -444,19 +470,37 @@ class LoadMonitor:
             acc = self._acc = WindowAccumulator(index, self._config.window, self._n)
         return acc
 
-    def record_request(self, t: float, key: int, node: Optional[int] = None) -> None:
+    def record_request(
+        self,
+        t: float,
+        key: int,
+        node: Optional[int] = None,
+        layer: Optional[int] = None,
+        shard: Optional[int] = None,
+    ) -> None:
         """Ingest one request at simulated time ``t``.
 
         ``node is None`` means the front-end cache absorbed it; an
         integer means it was forwarded to that back-end node.  Calls
         must arrive in non-decreasing ``t`` (the event scheduler's
         order).
+
+        On hierarchy runs (``begin_run(layers=...)``), cache hits carry
+        the ``(layer, shard)`` that served them so the per-layer
+        max-load estimators can track the DistCache bound.  Flat runs
+        never pass them and stay byte-identical.
         """
         acc = self._window_at(t)
         acc.record(key, node)
         self._cum_requests += 1
         if node is None:
             self._cum_hits += 1
+            if layer is not None and self._layers is not None:
+                acc.record_layer(layer)
+                self._cum_layer_hits[layer] += 1
+                self._layer_keys[layer].add(key)
+                if shard is not None:
+                    self._cum_shard_hits[layer][shard] += 1
         else:
             self._cum_backend += 1
             self._cum_nodes[node] += 1
@@ -523,6 +567,10 @@ class LoadMonitor:
             summary["degraded_bound"] = self._config.degraded_bound_for(
                 self._config.x, self._min_effective_d, n=self._n
             )
+        if self._layers is not None:
+            summary["layers"] = [
+                self._layer_summary(layer) for layer in range(len(self._layers))
+            ]
         self._events.emit(summary)
         self._summaries.append(summary)
         if gain is not None:
@@ -532,6 +580,36 @@ class LoadMonitor:
             self._metrics.gauge("monitor_gain").set(gain)
         self._run_open = False
         return summary
+
+    def _layer_summary(self, layer: int) -> dict:
+        """One layer's max-load report against the DistCache bound.
+
+        ``balance_gain`` is the realised analogue of the Theorem-2 gain
+        for the layer's shards: the busiest shard's hits over the even
+        split ``hits / shards`` (``None`` when the layer served
+        nothing).  ``distcache_bound`` is the two-choice max-load bound
+        on hits per shard — :func:`repro.core.bounds.
+        distcache_max_load_bound` with the config's ``k_prime`` — so
+        the two report side by side in every run summary.
+        """
+        width = self._layers[layer]
+        hits = self._cum_layer_hits[layer]
+        keys = len(self._layer_keys[layer])
+        shard_hits = self._cum_shard_hits[layer]
+        shard_max = max(shard_hits) if shard_hits else 0
+        bound = distcache_max_load_bound(
+            hits, width, keys, self._config.k_prime
+        )
+        return {
+            "layer": layer,
+            "shards": width,
+            "hits": hits,
+            "keys": keys,
+            "shard_max": shard_max,
+            "balance_gain": (shard_max / (hits / width)) if hits else None,
+            "distcache_bound": bound,
+            "within_bound": shard_max <= bound,
+        }
 
     def _running_gain(self, t: float) -> Optional[float]:
         """Running ``L_max / (R/n)`` at simulated time ``t``."""
@@ -573,6 +651,11 @@ class LoadMonitor:
             )
             if self._min_effective_d is None or effective_d < self._min_effective_d:
                 self._min_effective_d = effective_d
+        if self._layers is not None:
+            snapshot["layer_hits"] = {
+                str(layer): acc.layer_hits.get(layer, 0)
+                for layer in range(len(self._layers))
+            }
         seconds = snapshot["seconds"]
         if seconds > 0:
             even = self._rate / self._n
@@ -746,10 +829,12 @@ class NullMonitor(LoadMonitor):
     def emit_manifest(self, **extra) -> Optional[dict]:
         return None
 
-    def begin_run(self, trial: int = 0, n=None, rate=None, chaos=False) -> None:
+    def begin_run(
+        self, trial: int = 0, n=None, rate=None, chaos=False, layers=None
+    ) -> None:
         pass
 
-    def record_request(self, t, key, node=None) -> None:
+    def record_request(self, t, key, node=None, layer=None, shard=None) -> None:
         pass
 
     def record_node_event(self, t, node, up) -> None:

@@ -115,7 +115,7 @@ class WindowAccumulator:
     """
 
     __slots__ = ("index", "width", "requests", "hits", "backend",
-                 "node_counts", "entropy", "unavailable")
+                 "node_counts", "entropy", "unavailable", "layer_hits")
 
     def __init__(self, index: int, width: float, n_nodes: int) -> None:
         self.index = index
@@ -130,6 +130,11 @@ class WindowAccumulator:
         # appends it for chaos runs only, keeping chaos-off snapshots
         # byte-identical to the pre-chaos schema.
         self.unavailable = 0
+        # Hierarchy-only counters (repro.cache.tree): hits served per
+        # cache layer.  Like ``unavailable``, NOT part of to_snapshot()
+        # — the monitor appends them only when a run declares layers,
+        # keeping flat-cache snapshots byte-identical.
+        self.layer_hits: Dict[int, int] = {}
 
     @property
     def t_start(self) -> float:
@@ -150,6 +155,10 @@ class WindowAccumulator:
         else:
             self.backend += 1
             self.node_counts[node] += 1
+
+    def record_layer(self, layer: int) -> None:
+        """Attribute the window's latest cache hit to a hierarchy layer."""
+        self.layer_hits[layer] = self.layer_hits.get(layer, 0) + 1
 
     def to_snapshot(self, trial: int, t_end: Optional[float] = None) -> dict:
         """Plain-data window snapshot (JSON-able, deterministic).

@@ -1,8 +1,9 @@
 """The component registry: every scenario dimension resolves by name.
 
-Seven namespaces mirror the seven scenario dimensions::
+Eight namespaces mirror the scenario dimensions::
 
-    workload x cache x partitioner x selection x adversary x chaos x engine
+    workload x cache x partitioner x selection x layer-selection
+             x adversary x chaos x engine
 
 Components self-register where they are defined via the
 :func:`register_component` decorator, so a new cache policy (or
@@ -42,6 +43,7 @@ NAMESPACES: Tuple[str, ...] = (
     "cache",
     "partitioner",
     "selection",
+    "layer-selection",
     "adversary",
     "chaos",
     "engine",

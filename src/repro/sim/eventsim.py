@@ -387,9 +387,20 @@ class EventDrivenSimulator:
                 rng=self._factory.generator("chaos-schedule", trial=trial),
             )
             tracker = NodeStateTracker(params.n)
+        # A non-degenerate cache tree attributes each hit to the
+        # (layer, shard) that served it; a degenerate (1-layer/1-shard)
+        # tree declares no layers, so its monitor stream stays
+        # byte-identical to the flat path — the differential contract.
+        tree = (
+            self._cache
+            if getattr(self._cache, "HIERARCHICAL", False) else None
+        )
+        layered = tree is not None and not tree.degenerate
         if monitor is not None:
             monitor.begin_run(
-                trial=trial, n=params.n, rate=params.rate, chaos=chaos is not None
+                trial=trial, n=params.n, rate=params.rate,
+                chaos=chaos is not None,
+                layers=tree.widths if layered else None,
             )
 
         def make_failure_event(event):
@@ -463,7 +474,13 @@ class EventDrivenSimulator:
                 if self._cache.access(int(key)):
                     frontend_hits += 1
                     if monitor is not None:
-                        monitor.record_request(now, int(key))
+                        if layered:
+                            layer, shard = self._cache.last_hit
+                            monitor.record_request(
+                                now, int(key), layer=layer, shard=shard
+                            )
+                        else:
+                            monitor.record_request(now, int(key))
                     return
                 backend += 1
                 if tracker is not None:

@@ -54,10 +54,18 @@ def supports(sim) -> bool:
     Requires a statically-resident cache (hit/miss precomputable), pin
     or random routing (resolvable without live queue state) and no
     chaos schedule (no mid-run node state changes).
+
+    Hierarchical caches are rejected outright, *before* the residency
+    check: a :class:`~repro.cache.tree.CacheTree` of perfect caches
+    reports ``STATIC_RESIDENCY`` per shard, but residency migrates
+    between layers on every miss and hits must be attributed to a
+    (layer, shard) pair — the single-resident-set precomputation would
+    silently honor only the edge layer.
     """
     return (
         sim._chaos is None
         and sim._routing in ("pin", "random")
+        and not getattr(sim._cache, "HIERARCHICAL", False)
         and getattr(sim._cache, "STATIC_RESIDENCY", False)
     )
 

@@ -16,6 +16,7 @@ from .distributions import (
 )
 from .zipf import ZipfDistribution
 from .adversarial import AdversarialDistribution
+from .keyset import KeySetDistribution
 from .scan import CyclicScanDistribution
 from .mixture import MixtureDistribution
 from .costs import CostModel, OperationMix, WeightedWorkload
@@ -35,6 +36,7 @@ __all__ = [
     "GeometricDistribution",
     "ZipfDistribution",
     "AdversarialDistribution",
+    "KeySetDistribution",
     "QueryStream",
     "save_trace",
     "load_trace",

@@ -1,0 +1,64 @@
+"""Uniform traffic over an explicit key list.
+
+The shard-targeting adversary (:class:`repro.adversary.strategies.
+ShardTargetingAdversary`) floods exactly the keys that hash to one edge
+cache shard — a key *set*, not a prefix, so
+:class:`~repro.workload.adversarial.AdversarialDistribution` (uniform
+over ``0 .. x-1``) cannot express it.  :class:`KeySetDistribution` is
+the general form: uniform over any explicit list of keys, sampled with
+a single ``integers`` draw per query like the other uniform patterns.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import DistributionError
+from ..rng import as_generator
+from ..scenario.registry import register_component
+from .distributions import KeyDistribution, RngLike
+
+__all__ = ["KeySetDistribution"]
+
+
+@register_component("workload", "key-set", example={"keys": [0, 1, 2]})
+class KeySetDistribution(KeyDistribution):
+    """Uniform over an explicit set of keys out of ``0 .. m-1``."""
+
+    name = "key-set"
+
+    def __init__(self, m: int, keys: Sequence[int]) -> None:
+        super().__init__(m)
+        keys = np.unique(np.asarray(list(keys), dtype=np.int64))
+        if keys.size == 0:
+            raise DistributionError("need at least one key in the set")
+        if keys.min() < 0 or keys.max() >= m:
+            raise DistributionError(
+                f"keys must lie in [0, m={m}), got range "
+                f"[{int(keys.min())}, {int(keys.max())}]"
+            )
+        self._keys = keys
+
+    @property
+    def keys(self) -> np.ndarray:
+        """The flooded keys, sorted ascending."""
+        return self._keys.copy()
+
+    @property
+    def x(self) -> int:
+        """Number of distinct keys queried (the attack width)."""
+        return int(self._keys.size)
+
+    def probabilities(self) -> np.ndarray:
+        probs = np.zeros(self._m)
+        probs[self._keys] = 1.0 / self._keys.size
+        return probs
+
+    def sample(self, size: int, rng: RngLike = None) -> np.ndarray:
+        if size < 0:
+            raise DistributionError(f"size must be non-negative, got {size}")
+        gen = as_generator(rng, "sample-key-set")
+        picks = gen.integers(0, self._keys.size, size=size)
+        return self._keys[picks]

@@ -72,7 +72,7 @@ class TestScenarioCLI:
 
     NAMESPACES = (
         "workload", "cache", "partitioner", "selection",
-        "adversary", "chaos", "engine",
+        "layer-selection", "adversary", "chaos", "engine",
     )
 
     @staticmethod
@@ -203,3 +203,36 @@ class TestScenarioCLI:
         missing = str(tmp_path / "nope.json")
         assert main(["scenario", "run", missing]) == 2
         assert "nope.json" in capsys.readouterr().err
+
+
+class TestTreeCLI:
+    """``repro tree``: the shard-flood vs flat/tree comparison."""
+
+    ARGS = [
+        "tree", "-n", "10", "-m", "200", "-c", "8", "-d", "2",
+        "--rate", "1000", "--edges", "2", "--aggregates", "1",
+        "--queries", "300", "--trials", "1", "--seed", "3",
+    ]
+
+    def test_tree_flags(self):
+        args = build_parser().parse_args(self.ARGS)
+        assert args.command == "tree"
+        assert args.edges == 2
+        assert args.aggregates == 1
+        assert args.layer_selection == "two-choice"
+
+    def test_tree_compares_defenses(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "shard-flood:" in out
+        assert "Theorem-2 bound" in out
+        assert "defense: flat" in out
+        assert "defense: tree[2x1 two-choice]" in out
+        # Only the tree defense reports the per-layer overlay.
+        assert out.count("per-layer shard load") == 1
+
+    def test_tree_parallel_matches_serial(self, capsys):
+        assert main(self.ARGS) == 0
+        serial = capsys.readouterr().out
+        assert main(self.ARGS + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial

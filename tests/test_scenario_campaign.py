@@ -34,8 +34,14 @@ EXPECTED = json.loads((SCENARIO_DIR / "expected.json").read_text())
 
 #: Wired explicitly so an unpinned fixture file fails the census test
 #: below instead of silently going untested.
-SCENARIO_FILES = ("chaos-on.yaml", "paper-default.yaml", "stealth-adversary.yaml")
-CAMPAIGN_FILES = ("sweep-grid.yaml",)
+SCENARIO_FILES = (
+    "chaos-on.yaml",
+    "paper-default.yaml",
+    "stealth-adversary.yaml",
+    "tree-paper-default.yaml",
+    "tree-stealth-shard.yaml",
+)
+CAMPAIGN_FILES = ("sweep-grid.yaml", "tree-sweep.yaml")
 
 
 @pytest.fixture(autouse=True)

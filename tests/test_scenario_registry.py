@@ -123,11 +123,12 @@ class TestCompleteness:
         would empty a namespace without failing constructibility."""
         discover()
         floor = {
-            "workload": 8,
-            "cache": 12,
+            "workload": 9,
+            "cache": 13,
             "partitioner": 3,
             "selection": 6,
-            "adversary": 7,
+            "layer-selection": 2,
+            "adversary": 8,
             "chaos": 1,
             "engine": 2,
         }

@@ -1,0 +1,284 @@
+"""Differential suite: the degenerate cache tree must equal the flat path.
+
+A one-layer, one-shard :class:`~repro.cache.tree.CacheTree` wraps a
+single cache instance; it promises to be a *bit-identical* stand-in for
+running that cache flat — same :class:`EventSimResult` floats and
+arrays, same RNG stream consumption, same metrics export, same monitor
+telemetry — across the routing x cache-policy grid the kernel
+differential suite uses.  That contract is what lets tree scenarios
+reuse every flat-path golden and bound without a tolerance.
+
+The suite also pins the fallback seam ISSUE 9 calls out: a tree of
+perfect caches is per-shard statically resident, and the batched kernel
+would happily precompute hit/miss against the edge layer's resident set
+alone — :func:`repro.sim.kernel.supports` must reject ``HIERARCHICAL``
+caches *before* it looks at ``STATIC_RESIDENCY``.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.cache import CacheTree, PerfectCache, make_cache
+from repro.cluster.hierarchy import (
+    LayeredPartitioner,
+    TwoChoiceLayerSelection,
+)
+from repro.core.notation import SystemParameters
+from repro.obs import LoadMonitor, MetricsRegistry, MonitorConfig
+from repro.obs.export import export_json
+from repro.sim import kernel
+from repro.sim.batch import run_event_campaign
+from repro.sim.eventsim import EventDrivenSimulator
+from repro.workload.adversarial import AdversarialDistribution
+
+#: The cache-policy grid: every simple registry policy exercised by the
+#: kernel fallback tests, spanning recency, frequency and adaptive
+#: families (perfect is covered separately by the supports-gate tests).
+POLICIES = ("lru", "fifo", "clock", "lfu", "arc", "sieve")
+
+ROUTINGS = ("pin", "random")
+
+
+def _params(**overrides):
+    base = dict(n=20, m=500, c=10, d=3, rate=2000.0)
+    base.update(overrides)
+    return SystemParameters(**base)
+
+
+def assert_results_identical(a, b):
+    """Field-by-field exact equality of two EventSimResults."""
+    for name in a.__dataclass_fields__:
+        left, right = getattr(a, name), getattr(b, name)
+        if isinstance(left, np.ndarray):
+            assert left.dtype == right.dtype, name
+            assert (left == right).all(), name
+        elif hasattr(left, "loads"):  # LoadVector
+            assert (left.loads == right.loads).all(), name
+            assert left.total_rate == right.total_rate, name
+        elif isinstance(left, float) and np.isnan(left):
+            assert np.isnan(right), name
+        else:
+            assert left == right, name
+
+
+def _flat_cache(policy, capacity=10):
+    return make_cache(policy, capacity)
+
+
+def _degenerate_tree(policy, capacity=10):
+    return CacheTree([[make_cache(policy, capacity)]])
+
+
+def _two_layer_tree(policy="lru", capacity=10, seed=5):
+    return CacheTree(
+        [
+            [make_cache(policy, capacity) for _ in range(2)],
+            [make_cache(policy, capacity)],
+        ],
+        partitioner=LayeredPartitioner((2, 1), seed=seed),
+        selection=TwoChoiceLayerSelection(),
+    )
+
+
+def _perfect_tree(capacity=10):
+    return CacheTree(
+        [
+            [PerfectCache(capacity), PerfectCache(capacity, range(10, 20))],
+            [PerfectCache(capacity)],
+        ],
+        partitioner=LayeredPartitioner((2, 1), seed=5),
+    )
+
+
+class TestDegenerateIdentity:
+    """One layer, one shard == the wrapped cache, bit for bit."""
+
+    @pytest.mark.parametrize("routing", ROUTINGS)
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_routing_policy_grid(self, routing, policy):
+        flat = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 100),
+            cache=_flat_cache(policy), seed=11, routing=routing,
+        )
+        tree = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 100),
+            cache=_degenerate_tree(policy), seed=11, routing=routing,
+        )
+        for trial in (0, 1):
+            assert_results_identical(
+                flat.run(3000, trial=trial), tree.run(3000, trial=trial)
+            )
+
+    def test_fast_engine_falls_back_and_matches(self):
+        flat = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 100),
+            cache=_flat_cache("lru"), seed=9,
+        )
+        tree = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 100),
+            cache=_degenerate_tree("lru"), seed=9, engine="fast",
+        )
+        a, b = flat.run(3000), tree.run(3000)
+        assert tree.last_engine == "legacy"
+        assert_results_identical(a, b)
+
+    def test_monitor_telemetry_identical(self):
+        params = _params()
+
+        def run(cache):
+            monitor = LoadMonitor(
+                MonitorConfig.from_params(params, x=11, window=0.05)
+            )
+            sim = EventDrivenSimulator(
+                params, AdversarialDistribution(500, 11), seed=7,
+                cache=cache, monitor=monitor,
+            )
+            result = sim.run(4000, trial=0)
+            return result, monitor
+
+        a, mon_a = run(_flat_cache("lru"))
+        b, mon_b = run(_degenerate_tree("lru"))
+        assert_results_identical(a, b)
+        assert mon_a.windows == mon_b.windows
+        assert mon_a.alerts == mon_b.alerts
+        assert mon_a.summaries == mon_b.summaries
+        # The degenerate tree declares no layers: flat telemetry stays
+        # byte-identical, with no layer_hits / layers keys appended.
+        assert all("layer_hits" not in w for w in mon_b.windows)
+        assert all("layers" not in s for s in mon_b.summaries)
+
+    def test_metrics_export_identical(self):
+        def run(cache):
+            registry = MetricsRegistry()
+            sim = EventDrivenSimulator(
+                _params(), AdversarialDistribution(500, 100), seed=5,
+                cache=cache, metrics=registry,
+            )
+            result = sim.run(3000)
+            return result, export_json(metrics=registry)
+
+        a, export_a = run(_flat_cache("lru"))
+        b, export_b = run(_degenerate_tree("lru"))
+        assert_results_identical(a, b)
+        assert export_a == export_b
+
+    def test_cache_stats_identical(self):
+        flat, tree = _flat_cache("lru"), _degenerate_tree("lru")
+        rng = np.random.default_rng(3)
+        for key in rng.integers(0, 40, size=2000):
+            assert flat.access(int(key)) == tree.access(int(key))
+        shard = tree.layers[0][0]
+        assert (flat.stats.hits, flat.stats.misses) == (
+            tree.stats.hits, tree.stats.misses
+        )
+        assert (flat.stats.insertions, flat.stats.evictions) == (
+            shard.stats.insertions, shard.stats.evictions
+        )
+        assert sorted(flat.keys()) == sorted(tree.keys())
+        assert len(flat) == len(tree)
+
+
+class TestCampaignIdentity:
+    """Campaign plumbing: serial == workers=4, tree or flat."""
+
+    def _campaign(self, factory, workers, layered=False):
+        params = _params()
+        monitor = LoadMonitor(
+            MonitorConfig.from_params(params, x=11, window=0.05)
+        )
+        campaign = run_event_campaign(
+            params,
+            AdversarialDistribution(500, 11),
+            trials=4,
+            n_queries=2000,
+            seed=17,
+            cache_factory=factory,
+            workers=workers,
+            monitor=monitor,
+        )
+        assert (
+            any("layers" in s for s in monitor.summaries) is layered
+        )
+        return campaign, monitor
+
+    def _assert_campaigns_identical(self, serial, parallel):
+        campaign_a, mon_a = serial
+        campaign_b, mon_b = parallel
+        for a, b in zip(campaign_a.results, campaign_b.results):
+            assert_results_identical(a, b)
+        assert (
+            campaign_a.load_report.normalized_max_per_trial
+            == campaign_b.load_report.normalized_max_per_trial
+        ).all()
+        assert mon_a.windows == mon_b.windows
+        assert mon_a.alerts == mon_b.alerts
+        assert mon_a.summaries == mon_b.summaries
+
+    def test_degenerate_tree_campaign_matches_flat(self):
+        flat = self._campaign(functools.partial(_flat_cache, "lru"), 1)
+        tree = self._campaign(functools.partial(_degenerate_tree, "lru"), 1)
+        self._assert_campaigns_identical(flat, tree)
+
+    def test_degenerate_tree_serial_vs_parallel(self):
+        factory = functools.partial(_degenerate_tree, "lru")
+        self._assert_campaigns_identical(
+            self._campaign(factory, 1), self._campaign(factory, 4)
+        )
+
+    def test_layered_tree_serial_vs_parallel(self):
+        factory = functools.partial(_two_layer_tree, "lru")
+        serial = self._campaign(factory, 1, layered=True)
+        parallel = self._campaign(factory, 4, layered=True)
+        self._assert_campaigns_identical(serial, parallel)
+        # Layered windows actually carried per-layer telemetry.
+        mon = serial[1]
+        assert any(
+            any(w.get("layer_hits", {}).values()) for w in mon.windows
+        )
+
+
+class TestSupportsGate:
+    """ISSUE 9's latent seam: HIERARCHICAL must veto STATIC_RESIDENCY."""
+
+    def test_perfect_tree_is_static_but_unsupported(self):
+        tree = _perfect_tree()
+        # The trap: every shard is statically resident, so the tree as a
+        # whole reports STATIC_RESIDENCY=True...
+        assert tree.STATIC_RESIDENCY is True
+        assert tree.HIERARCHICAL is True
+        sim = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 11), cache=tree, seed=1,
+        )
+        # ...and only the HIERARCHICAL gate keeps it off the fast path.
+        assert not kernel.supports(sim)
+
+    def test_flat_perfect_cache_still_supported(self):
+        sim = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 11), seed=1,
+        )
+        assert kernel.supports(sim)
+
+    def test_fast_engine_runs_legacy_for_perfect_tree(self):
+        sim = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 11),
+            cache=_perfect_tree(), seed=1, engine="fast",
+        )
+        sim.run(1000)
+        assert sim.last_engine == "legacy"
+
+    def test_degenerate_perfect_tree_matches_flat_legacy(self):
+        # Degeneracy holds for static shards too: a 1x1 tree of the
+        # default perfect cache equals the flat default, via legacy.
+        flat = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 11), seed=2,
+            engine="legacy",
+        )
+        tree = EventDrivenSimulator(
+            _params(), AdversarialDistribution(500, 11),
+            cache=CacheTree([[PerfectCache(10)]]), seed=2, engine="fast",
+        )
+        a, b = flat.run(2000), tree.run(2000)
+        assert tree.last_engine == "legacy"
+        assert_results_identical(a, b)
