@@ -14,6 +14,11 @@ the two engines:
   the null monitor must sit at the uninstrumented floor and even the
   live monitor (windows + streaming entropy + alerts) must not dominate
   the run.
+- **trace**: the same replay with the *flight recorder* off / sampled
+  (1% — the recommended production rate) / full (every request traced
+  and attributed).  The sampler is a keyed hash, not an RNG draw, so
+  all three modes must return bit-identical results; the 1% mode must
+  stay within 15% of the untraced floor.
 
 Wall time per mode is the *minimum* over ``REPEATS`` runs (minimum, not
 mean: instrumentation overhead is a floor effect, and the minimum
@@ -34,9 +39,11 @@ from repro.obs import (
     NULL_MONITOR,
     NULL_REGISTRY,
     NULL_TRACER,
+    FlightRecorder,
     LoadMonitor,
     MetricsRegistry,
     MonitorConfig,
+    TraceConfig,
     Tracer,
 )
 from repro.sim.analytic import MonteCarloSimulator
@@ -74,6 +81,13 @@ MONITOR_MODES = (
     ("off", lambda: None),
     ("null", lambda: NULL_MONITOR),
     ("live", lambda: LoadMonitor(MonitorConfig(window=0.05))),
+)
+
+#: (mode name, recorder factory) for the flight-recorder section.
+TRACE_MODES = (
+    ("off", lambda: None),
+    ("sampled", lambda: FlightRecorder(TraceConfig(sample=0.01), seed=SEED)),
+    ("full", lambda: FlightRecorder(TraceConfig(sample=1.0), seed=SEED)),
 )
 
 
@@ -190,6 +204,49 @@ def run_monitor_bench(spec) -> dict:
     }
 
 
+def run_trace_bench(spec) -> dict:
+    """Off vs sampled vs full flight recorder on the request path."""
+    params = SystemParameters(**spec["params"])
+    rows, baseline = {}, None
+    for mode, trace_factory in TRACE_MODES:
+        sampled = 0
+
+        def replay():
+            nonlocal sampled
+            recorder = trace_factory()
+            sim = EventDrivenSimulator(
+                params,
+                UniformDistribution(params.m),
+                cache=LRUCache(params.c),
+                seed=SEED,
+                trace=recorder,
+            )
+            outcome = sim.run(spec["n_queries"])
+            if recorder is not None:
+                sampled = recorder.sampled
+            return outcome
+
+        outcome, seconds = _min_of(spec["repeats"], replay)
+        if baseline is None:
+            baseline = outcome
+        rows[mode] = {
+            "wall_seconds": seconds,
+            "sampled": sampled,
+            "identical_to_off": bool(
+                outcome.normalized_max == baseline.normalized_max
+                and (outcome.served == baseline.served).all()
+                and outcome.cache_hit_rate == baseline.cache_hit_rate
+            ),
+        }
+    off = rows["off"]["wall_seconds"]
+    for mode in rows:
+        rows[mode]["overhead_pct"] = 100.0 * (rows[mode]["wall_seconds"] / off - 1.0)
+    return {
+        "config": {**spec["params"], "n_queries": spec["n_queries"], "seed": SEED},
+        "modes": rows,
+    }
+
+
 def _run() -> dict:
     spec = SMOKE if smoke_mode() else FULL
     return {
@@ -198,6 +255,7 @@ def _run() -> dict:
         "monte_carlo": run_monte_carlo_bench(spec),
         "eventsim": run_eventsim_bench(spec),
         "monitor": run_monitor_bench(spec),
+        "trace": run_trace_bench(spec),
     }
 
 
@@ -206,29 +264,42 @@ def _render(payload: dict) -> str:
         "== obs: instrumentation overhead (min over "
         f"{payload['repeats']} runs, smoke: {payload['smoke']})",
     ]
-    for section in ("monte_carlo", "eventsim", "monitor"):
-        lines += ["", f"{section}:", "mode  wall_s   overhead  identical"]
+    for section in ("monte_carlo", "eventsim", "monitor", "trace"):
+        lines += ["", f"{section}:", "mode     wall_s   overhead  identical"]
         for mode, row in payload[section]["modes"].items():
             lines.append(
-                f"{mode:>4}  {row['wall_seconds']:>6.3f}  "
+                f"{mode:>7}  {row['wall_seconds']:>6.3f}  "
                 f"{row['overhead_pct']:>+7.1f}%  {str(row['identical_to_off']):>9}"
             )
     return "\n".join(lines)
 
 
 def _check(payload: dict) -> None:
-    for section in ("monte_carlo", "eventsim", "monitor"):
+    for section in ("monte_carlo", "eventsim", "monitor", "trace"):
         modes = payload[section]["modes"]
-        # Hard contract: instrumentation never changes a result.
+        # Hard contract: instrumentation never changes a result.  For
+        # the trace section this is the RNG-free sampler claim: traced
+        # runs reproduce the untraced golden results bit for bit.
         assert all(row["identical_to_off"] for row in modes.values()), section
-        if not payload["smoke"]:
-            # Soft contract, full scale only (smoke runs are too short
-            # to time reliably on a loaded host): the null sink must
-            # stay near the uninstrumented floor, and even full
-            # instrumentation must not dominate the run.
-            assert modes["null"]["overhead_pct"] < 25.0, section
-            live = "live" if "live" in modes else "full"
-            assert modes[live]["overhead_pct"] < 100.0, section
+        if payload["smoke"] or section == "trace":
+            continue
+        # Soft contract, full scale only (smoke runs are too short
+        # to time reliably on a loaded host): the null sink must
+        # stay near the uninstrumented floor, and even full
+        # instrumentation must not dominate the run.
+        assert modes["null"]["overhead_pct"] < 25.0, section
+        live = "live" if "live" in modes else "full"
+        assert modes[live]["overhead_pct"] < 100.0, section
+    trace = payload["trace"]["modes"]
+    assert trace["sampled"]["sampled"] > 0, "1% sampler admitted nothing"
+    assert trace["full"]["sampled"] == payload["trace"]["config"]["n_queries"]
+    if not payload["smoke"]:
+        # The production recommendation: 1% sampling stays within 15%
+        # of the untraced floor.  Tracing *everything* honestly costs
+        # about one extra run (a record plus attribution per request);
+        # bound it so a superlinear regression still fails.
+        assert trace["sampled"]["overhead_pct"] < 15.0, "trace"
+        assert trace["full"]["overhead_pct"] < 250.0, "trace"
 
 
 def _workload(payload: dict):
@@ -236,7 +307,8 @@ def _workload(payload: dict):
     ev = payload["eventsim"]["config"]
     repeats = payload["repeats"]
     modes = len(MODES)
-    events = 2 * modes * repeats * ev["n_queries"]  # eventsim + monitor
+    # eventsim + monitor + trace sections each replay every mode.
+    events = 3 * modes * repeats * ev["n_queries"]
     balls = modes * repeats * mc["trials"] * mc["x"]
     return {"events": events, "balls": balls}
 

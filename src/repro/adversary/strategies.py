@@ -255,7 +255,10 @@ class ShardTargetingAdversary(Adversary):
         return self._keys.copy()
 
     def distribution(self) -> KeySetDistribution:
-        return KeySetDistribution(self._public.m, self._keys)
+        # client_id=1 tags every flooded key with the attacker's
+        # ground-truth identity for the attribution engine — purely
+        # key-derived, so traced and untraced runs stay bit-identical.
+        return KeySetDistribution(self._public.m, self._keys, client_id=1)
 
 
 def _build_adaptive(ctx, probes: int = 12, probe_trials: int = 3):

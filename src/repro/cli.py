@@ -22,13 +22,26 @@ Commands
     Event-driven replay of an attack (or benign) stream with the online
     monitor attached: sliding-window telemetry, the streaming gain
     estimate against the Theorem-2 bound, alerts, and optional JSONL
-    event-log / HTML dashboard outputs.
+    event-log / HTML dashboard outputs.  ``--attribution TRACE`` skips
+    the simulation and recomputes suspect rankings offline from an
+    exported trace file (plus ``--events-log`` for the run summaries).
+``forensics``
+    Offline attack forensics over an exported trace JSONL: the ranked
+    suspects tables, the per-layer causal path breakdown and the
+    alert-aligned traced-request timeline (``--html`` writes the
+    standalone dashboard).  See docs/OBSERVABILITY.md.
 
 Monitoring flags (figures, ``all`` and ``replay``): ``--monitor``
 attaches the online :class:`~repro.obs.LoadMonitor`, ``--window`` sets
 the simulated-time window width, ``--events-out`` writes the structured
 JSONL event log, and ``--alerts`` prints alert records live as rules
 fire.
+
+Tracing flags (``replay`` and ``tree``): ``--trace RATE`` attaches the
+:class:`~repro.obs.FlightRecorder` at that sampling rate (hash-based,
+RNG-free — results stay byte-identical to untraced runs),
+``--trace-out`` exports the trace JSONL, ``--forensics-out`` writes the
+forensic HTML dashboard.
 
 Chaos flags (same commands): ``--chaos`` enables fault injection
 (``--failure-rate`` crashes/s per node, ``--mttr`` mean repair time,
@@ -117,6 +130,70 @@ def _add_monitor_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print alert records live as monitor rules fire (implies --monitor)",
     )
+
+
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="attach the flight recorder, tracing RATE of requests "
+        "(hash-sampled without consuming RNG: results are byte-identical "
+        "to an untraced run; see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the causal trace JSONL to PATH (implies --trace 1.0 "
+        "unless a rate is given)",
+    )
+    parser.add_argument(
+        "--forensics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help="write the forensic HTML dashboard (suspects, causal paths, "
+        "alert-aligned timeline) to PATH (implies --trace)",
+    )
+
+
+def _trace_sink(args: argparse.Namespace, seed=None):
+    """Build the FlightRecorder if any trace flag was given."""
+    wanted = (
+        getattr(args, "trace", None) is not None
+        or getattr(args, "trace_out", None)
+        or getattr(args, "forensics_out", None)
+    )
+    if not wanted:
+        return None
+    from .obs import FlightRecorder, TraceConfig
+
+    sample = 1.0 if args.trace is None else args.trace
+    window = getattr(args, "window", None)
+    config = (
+        TraceConfig(sample=sample)
+        if window is None
+        else TraceConfig(sample=sample, window=window)
+    )
+    return FlightRecorder(config, seed=seed)
+
+
+def _write_trace(args: argparse.Namespace, recorder, monitor=None) -> None:
+    if recorder is None:
+        return
+    from .obs import render_forensics_text, write_forensics_html
+
+    print()
+    print(render_forensics_text(recorder))
+    if args.trace_out:
+        recorder.write(args.trace_out)
+        print(f"trace written to {args.trace_out}")
+    if args.forensics_out:
+        write_forensics_html(recorder, args.forensics_out, monitor=monitor)
+        print(f"forensics dashboard written to {args.forensics_out}")
 
 
 def _add_chaos_flags(parser: argparse.ArgumentParser) -> None:
@@ -334,9 +411,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--dashboard", type=str, default=None, metavar="PATH",
         help="write a standalone HTML dashboard (gain vs bound chart) to PATH",
     )
+    replay.add_argument(
+        "--attribution", type=str, default=None, metavar="TRACE",
+        help="offline mode: skip the simulation, recompute suspect "
+        "rankings from this exported trace JSONL (pair with "
+        "--events-log to align windows and check against the live "
+        "run summaries)",
+    )
+    replay.add_argument(
+        "--events-log", type=str, default=None, metavar="PATH",
+        help="with --attribution: the JSONL event log from the same run "
+        "(its run-summary records carry durations and live suspects)",
+    )
     _add_metrics_flags(replay)
     _add_monitor_flags(replay)
     _add_chaos_flags(replay)
+    _add_trace_flags(replay)
 
     tree = sub.add_parser(
         "tree",
@@ -384,6 +474,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_metrics_flags(tree)
     _add_monitor_flags(tree)
+    _add_trace_flags(tree)
+
+    forensics = sub.add_parser(
+        "forensics",
+        help="offline attack forensics from an exported trace JSONL "
+        "(suspects, causal paths, alert-aligned timeline)",
+    )
+    forensics.add_argument(
+        "trace", type=str, help="trace JSONL written by --trace-out"
+    )
+    forensics.add_argument(
+        "--events-log", type=str, default=None, metavar="PATH",
+        help="JSONL event log from the same run: aligns final attribution "
+        "windows on the run durations and checks the recomputed suspects "
+        "against the live run-summary blocks",
+    )
+    forensics.add_argument(
+        "--html", type=str, default=None, metavar="PATH",
+        help="write the standalone forensic dashboard HTML to PATH",
+    )
+    forensics.add_argument(
+        "--last", type=int, default=8, metavar="N",
+        help="rows per suspects table / alerts shown (default 8)",
+    )
 
     cal = sub.add_parser("calibrate", help="measure the folded constant k empirically")
     cal.add_argument("--nodes", "-n", type=int, default=PAPER.n)
@@ -493,6 +607,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="print the stats as a JSON object instead of key: value lines",
     )
+    scen_run.add_argument(
+        "--trace-out", type=str, default=None, metavar="PATH",
+        help="write the flight recorder's trace JSONL to PATH (needs a "
+        "'trace:' section in the spec)",
+    )
+    scen_run.add_argument(
+        "--forensics-out", type=str, default=None, metavar="PATH",
+        help="write the forensic HTML dashboard to PATH (needs a "
+        "'trace:' section in the spec)",
+    )
 
     scen_list = scen_sub.add_parser(
         "list", help="list every registered component by namespace"
@@ -597,12 +721,81 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_run_summaries(events_path: str):
+    """Per-trial ``(durations, live_suspects)`` from an event log."""
+    import json
+
+    durations, live = {}, {}
+    for line in Path(events_path).read_text(encoding="utf-8").splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("type") != "run-summary":
+            continue
+        trial = record.get("trial")
+        durations[trial] = record.get("duration")
+        if "suspects" in record:
+            live[trial] = record["suspects"]
+    return durations, live
+
+
+def _offline_attribution(
+    trace_path: str,
+    events_path: Optional[str],
+    html_path: Optional[str],
+    last: int = 8,
+) -> int:
+    """Shared ``forensics`` / ``replay --attribution`` implementation."""
+    from .obs import FlightRecorder
+    from .obs.forensics import render_forensics_text, write_forensics_html
+
+    durations, live = ({}, {})
+    if events_path:
+        durations, live = _read_run_summaries(events_path)
+    recorder = FlightRecorder.from_export(
+        trace_path, durations=durations or None
+    )
+    print(render_forensics_text(recorder, last=last))
+    if live:
+        print()
+        if recorder.evicted:
+            print(
+                f"note: {recorder.evicted} record(s) were evicted from the "
+                "ring; recomputed rankings cover the retained tail only"
+            )
+        for summary in recorder.summaries:
+            trial = summary["trial"]
+            if trial not in live:
+                continue
+            verdict = (
+                "MATCH" if summary["suspects"] == live[trial] else "DIFFER"
+            )
+            print(
+                f"trial {trial}: recomputed suspects {verdict} the live "
+                "run-summary block"
+            )
+    if html_path:
+        write_forensics_html(recorder, html_path)
+        print(f"forensics dashboard written to {html_path}")
+    return 0
+
+
+def _run_forensics(args: argparse.Namespace) -> int:
+    return _offline_attribution(
+        args.trace, args.events_log, args.html, last=args.last
+    )
+
+
 def _run_replay(args: argparse.Namespace) -> int:
     from .adversary.strategies import OptimalAdversary, UniformFlood, ZipfClient
     from .core.bounds import DEFAULT_CALIBRATED_K_PRIME
     from .obs import LoadMonitor, MonitorConfig
     from .sim.batch import run_event_campaign
 
+    if args.attribution:
+        return _offline_attribution(
+            args.attribution, args.events_log, args.forensics_out
+        )
     params = SystemParameters(
         n=args.nodes, m=args.items, c=args.cache, d=args.replication,
         rate=args.rate,
@@ -631,6 +824,7 @@ def _run_replay(args: argparse.Namespace) -> int:
     chaos = _chaos_config(args)
     if chaos is not None:
         print(chaos.describe())
+    recorder = _trace_sink(args, seed=args.seed)
     campaign = run_event_campaign(
         params,
         distribution,
@@ -642,10 +836,12 @@ def _run_replay(args: argparse.Namespace) -> int:
         tracer=tracer,
         monitor=monitor,
         chaos=chaos,
+        trace=recorder,
     )
     print(campaign.describe())
     _write_metrics(args, metrics, tracer)
     _write_monitor(args, monitor)
+    _write_trace(args, recorder, monitor=monitor)
     if args.dashboard:
         from .obs import write_html
 
@@ -713,6 +909,7 @@ def _run_tree(args: argparse.Namespace) -> int:
     )
     print(f"Theorem-2 bound at x={x}: {theorem2:.3f}")
     last_monitor = None
+    last_recorder = None
     for name, cache_factory in defenses:
         config = MonitorConfig.from_params(
             params, x=x, window=args.window, k_prime=k_prime,
@@ -722,6 +919,9 @@ def _run_tree(args: argparse.Namespace) -> int:
             for k in ("n", "rate", "c", "d", "x", "k_prime")
         })
         monitor = base if base is not None else LoadMonitor(config)
+        # Fresh recorder per defense: the tree run's trace (the last
+        # one) is the export — it carries the (layer, shard) hit paths.
+        recorder = _trace_sink(args, seed=seed)
         campaign = run_event_campaign(
             params,
             adversary.distribution(),
@@ -733,6 +933,7 @@ def _run_tree(args: argparse.Namespace) -> int:
             metrics=metrics,
             tracer=tracer,
             monitor=monitor,
+            trace=recorder,
         )
         print(f"\n== defense: {name} ==")
         print(campaign.describe())
@@ -752,8 +953,10 @@ def _run_tree(args: argparse.Namespace) -> int:
                     f"bound {row['distcache_bound']:.1f} [{status}]"
                 )
         last_monitor = monitor
+        last_recorder = recorder
     _write_metrics(args, metrics, tracer)
     _write_monitor(args, last_monitor)
+    _write_trace(args, last_recorder, monitor=last_monitor)
     return 0
 
 
@@ -972,6 +1175,21 @@ def _run_scenario(args: argparse.Namespace) -> int:
             print(f"scenario {spec.name!r} [{spec.engine.kind}]")
             for key, value in outcome.stats.items():
                 print(f"  {key}: {value}")
+        if outcome.trace is not None:
+            if args.trace_out:
+                outcome.trace.write(args.trace_out)
+                print(f"trace written to {args.trace_out}")
+            if args.forensics_out:
+                from .obs.forensics import write_forensics_html
+
+                write_forensics_html(outcome.trace, args.forensics_out)
+                print(f"forensics dashboard written to {args.forensics_out}")
+        elif args.trace_out or args.forensics_out:
+            print(
+                "scenario run: spec has no 'trace:' section; "
+                "--trace-out/--forensics-out ignored",
+                file=sys.stderr,
+            )
         return 0
 
     if args.scenario_command == "sweep":
@@ -1025,6 +1243,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_replay(args)
     if args.command == "tree":
         return _run_tree(args)
+    if args.command == "forensics":
+        return _run_forensics(args)
     if args.command == "perf":
         return _run_perf(args)
     if args.command == "scenario":

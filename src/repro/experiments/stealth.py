@@ -62,7 +62,10 @@ def run_stealth_sweep(
     params = paper.system(c=c, n=n)
     params = type(params)(n=n, m=m, c=c, d=paper.d, rate=paper.rate)
     benign = ZipfDistribution(m, paper.zipf_s)
-    flood = AdversarialDistribution(m, min(c + 1, m))
+    # client_id=1: the flood declares ground truth for attribution, so
+    # traced replays of the blended mixture can score suspect rankings
+    # against the true attacker keys.  Sampling is unaffected.
+    flood = AdversarialDistribution(m, min(c + 1, m), client_id=1)
     sim = MonteCarloSimulator(
         SimulationConfig(params=params, trials=trials, seed=seed)
     )

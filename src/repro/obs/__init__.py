@@ -15,7 +15,13 @@ through (see ``docs/OBSERVABILITY.md``):
   estimator with P² quantile sketches (:mod:`repro.obs.sketch`), a
   structured JSONL event log (:mod:`repro.obs.events`), rule-based
   alerting (:mod:`repro.obs.alerts`) and terminal/HTML dashboards
-  (:mod:`repro.obs.dashboard`).
+  (:mod:`repro.obs.dashboard`);
+- :class:`FlightRecorder` — **causal request tracing**: a hash-sampled
+  (RNG-free) bounded ring of per-request records
+  (:mod:`repro.obs.trace`) feeding a streaming per-prefix/per-client
+  attack-attribution engine (:mod:`repro.obs.attribution`) with ranked
+  suspects, the ``attribution-concentration`` alert and the forensic
+  timeline dashboards (:mod:`repro.obs.forensics`).
 
 Everything defaults off: code paths accept ``metrics=None`` /
 ``tracer=None`` / ``monitor=None`` and normalise onto the shared no-op
@@ -35,7 +41,7 @@ from .metrics import (
 from .tracer import NULL_TRACER, NullTracer, Span, Tracer, as_tracer
 from .export import export_json, to_prometheus, write_json
 from .windows import StreamingEntropy, WindowAccumulator
-from .sketch import P2Quantile, QuantileBank
+from .sketch import P2Quantile, QuantileBank, SpaceSaving
 from .events import SCHEMA_VERSION, EventLog
 from .alerts import BUILTIN_RULES, AlertEngine, AlertRule
 from .monitor import (
@@ -45,7 +51,25 @@ from .monitor import (
     NullMonitor,
     as_monitor,
 )
+from .attribution import AttributionEngine, recompute
+from .trace import (
+    NULL_RECORDER,
+    TRACE_SCHEMA_VERSION,
+    FlightRecorder,
+    HashSampler,
+    NullRecorder,
+    StrideSampler,
+    TraceConfig,
+    as_trace,
+)
 from .dashboard import render_html, render_text, write_html
+from .forensics import (
+    path_breakdown,
+    render_forensics_html,
+    render_forensics_text,
+    timeline_bins,
+    write_forensics_html,
+)
 
 __all__ = [
     "Counter",
@@ -68,6 +92,7 @@ __all__ = [
     "WindowAccumulator",
     "P2Quantile",
     "QuantileBank",
+    "SpaceSaving",
     "SCHEMA_VERSION",
     "EventLog",
     "AlertRule",
@@ -78,7 +103,22 @@ __all__ = [
     "NullMonitor",
     "NULL_MONITOR",
     "as_monitor",
+    "TRACE_SCHEMA_VERSION",
+    "TraceConfig",
+    "HashSampler",
+    "StrideSampler",
+    "FlightRecorder",
+    "NullRecorder",
+    "NULL_RECORDER",
+    "as_trace",
+    "AttributionEngine",
+    "recompute",
     "render_text",
     "render_html",
     "write_html",
+    "path_breakdown",
+    "timeline_bins",
+    "render_forensics_text",
+    "render_forensics_html",
+    "write_forensics_html",
 ]

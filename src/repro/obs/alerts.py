@@ -1,6 +1,6 @@
 """Rule-based alerting over window snapshots.
 
-Four built-in rules, mirroring what the paper's quantities make
+Five built-in rules, mirroring what the paper's quantities make
 checkable online:
 
 - ``gain-over-bound`` — the running attack gain ``L_max / (R/n)``
@@ -21,6 +21,13 @@ checkable online:
   Theorem-2 constant ``k = log log n / log d`` grows as ``d`` shrinks,
   so each firing comes with a refreshed, *larger* bound in the window's
   ``degraded_bound`` field.
+- ``attribution-concentration`` — one key-prefix bucket took at least
+  ``concentration_threshold`` of a window's *traced* requests (trace
+  runs only: evaluated by the attribution engine,
+  :mod:`repro.obs.attribution`, over the sampled trace stream with the
+  :class:`~repro.obs.trace.TraceConfig` as the rule context).  A firing
+  names the suspected attack prefix — the signal a closed-loop defense
+  would rate-limit.
 
 Rules are pure functions of a window snapshot plus the monitor
 configuration, so alert streams are deterministic and identical across
@@ -91,6 +98,19 @@ def _node_overload(snapshot: dict, config) -> Optional[Tuple[float, float]]:
     return None
 
 
+def _attribution_concentration(snapshot: dict, config) -> Optional[Tuple[float, float]]:
+    share = snapshot.get("attribution_top_share")
+    samples = snapshot.get("attribution_samples", 0)
+    threshold = getattr(config, "concentration_threshold", None)
+    if share is None or threshold is None:
+        return None
+    if samples < getattr(config, "min_samples", 0):
+        return None
+    if share >= threshold:
+        return float(share), float(threshold)
+    return None
+
+
 def _degraded_bound(snapshot: dict, config) -> Optional[Tuple[float, float]]:
     effective_d = snapshot.get("effective_d")
     d = getattr(config, "d", None)
@@ -124,6 +144,11 @@ BUILTIN_RULES: Dict[str, AlertRule] = {
             "degraded-bound",
             _degraded_bound,
             "failures shrank the effective replication choice below d",
+        ),
+        AlertRule(
+            "attribution-concentration",
+            _attribution_concentration,
+            "one key-prefix bucket dominated a window's traced requests",
         ),
     )
 }

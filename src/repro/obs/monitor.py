@@ -538,16 +538,32 @@ class LoadMonitor:
         acc.unavailable += 1
         self._cum_unavailable += 1
 
-    def finalize(self, duration: float) -> Optional[dict]:
+    def finalize(
+        self,
+        duration: float,
+        suspects: Optional[dict] = None,
+        attribution_alerts: Optional[list] = None,
+    ) -> Optional[dict]:
         """Close the open window and emit the run summary.
 
         Returns the summary record (``None`` when no run was open).
         The summary's ``final_gain`` uses the full run duration, so it
         equals the end-of-run ``EventSimResult.normalized_max``.
+
+        ``suspects`` / ``attribution_alerts`` (supplied by the engines
+        when a :class:`~repro.obs.trace.FlightRecorder` was attached)
+        land the trace layer's ranked attribution block in the summary
+        and its ``attribution-concentration`` firings in the event log;
+        untraced runs pass neither and stay byte-identical to the
+        pre-trace schema.
         """
         if not self._run_open:
             return None
         self._close_window(final_t=duration)
+        if attribution_alerts:
+            for alert in attribution_alerts:
+                self._emit_alert(alert)
+                self._run_alerts += 1
         gain = self._running_gain(duration)
         summary = {
             "type": "run-summary",
@@ -571,6 +587,8 @@ class LoadMonitor:
             summary["layers"] = [
                 self._layer_summary(layer) for layer in range(len(self._layers))
             ]
+        if suspects is not None:
+            summary["suspects"] = suspects
         self._events.emit(summary)
         self._summaries.append(summary)
         if gain is not None:
@@ -843,7 +861,7 @@ class NullMonitor(LoadMonitor):
     def record_unavailable(self, t, key) -> None:
         pass
 
-    def finalize(self, duration) -> Optional[dict]:
+    def finalize(self, duration, suspects=None, attribution_alerts=None) -> Optional[dict]:
         return None
 
     def record_trial(

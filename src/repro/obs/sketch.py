@@ -21,7 +21,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["P2Quantile", "QuantileBank"]
+__all__ = ["P2Quantile", "QuantileBank", "SpaceSaving"]
 
 
 class P2Quantile:
@@ -106,6 +106,76 @@ class P2Quantile:
             rank = max(1, math.ceil(self.q * self._count - 1e-9))
             return self._heights[rank - 1]
         return self._heights[2]
+
+
+class SpaceSaving:
+    """Metwally-style space-saving heavy-hitter sketch.
+
+    Tracks at most ``capacity`` counters; when a new item arrives with
+    every counter occupied, the smallest counter is handed over to the
+    newcomer (its old count becomes the newcomer's error bound).  Any
+    item whose true frequency exceeds ``stream / capacity`` is
+    guaranteed to be present, and every reported count overestimates the
+    truth by at most the reported ``error``.
+
+    Like the P² sketches, the state is a pure function of the offer
+    sequence: evictions break count ties on the smallest item, so the
+    sketch inherits the serial-equals-parallel guarantee whenever offers
+    arrive in a deterministic order (the attribution engine feeds
+    sampled keys in simulated-time order and merges trials in trial
+    order).
+    """
+
+    __slots__ = ("capacity", "_counts", "_errors", "_offered")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._counts: Dict[int, int] = {}
+        self._errors: Dict[int, int] = {}
+        self._offered = 0
+
+    @property
+    def offered(self) -> int:
+        """Total count offered into the sketch."""
+        return self._offered
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def offer(self, item: int, count: int = 1) -> None:
+        """Feed ``count`` observations of ``item`` into the sketch."""
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        self._offered += count
+        counts = self._counts
+        if item in counts:
+            counts[item] += count
+            return
+        if len(counts) < self.capacity:
+            counts[item] = count
+            self._errors[item] = 0
+            return
+        victim = min(counts, key=lambda k: (counts[k], k))
+        floor = counts.pop(victim)
+        del self._errors[victim]
+        counts[item] = floor + count
+        self._errors[item] = floor
+
+    def items(self) -> List[Tuple[int, int, int]]:
+        """``(item, count, error)`` triples, largest count first.
+
+        Ties break on the smaller item so the ranking is deterministic.
+        """
+        return sorted(
+            ((item, count, self._errors[item]) for item, count in self._counts.items()),
+            key=lambda row: (-row[1], row[0]),
+        )
+
+    def top(self, k: int) -> List[Tuple[int, int, int]]:
+        """The ``k`` largest counters (fewer when the stream was short)."""
+        return self.items()[:k]
 
 
 class QuantileBank:

@@ -64,12 +64,16 @@ class ScenarioOutcome:
     golden fixtures hold); ``result`` the engine's native aggregate
     (:class:`~repro.types.LoadReport` or
     :class:`~repro.sim.batch.EventCampaign`) for callers that need the
-    full per-trial series.
+    full per-trial series.  ``trace`` is the merged
+    :class:`~repro.obs.trace.FlightRecorder` when the spec carried a
+    ``trace:`` section (``None`` otherwise) — the CLI writes its JSONL
+    export and renders the forensics dashboard from it.
     """
 
     spec: ScenarioSpec
     stats: dict
     result: object
+    trace: object = None
 
 
 def run_scenario(
@@ -85,13 +89,17 @@ def run_scenario(
     spec = _apply_smoke(spec)
     entry = REGISTRY.get("engine", spec.engine.kind, path="engine.kind")
     ctx = BuildContext(params=spec.system, seed=spec.seed)
-    stats, result = entry.factory(
+    out = entry.factory(
         spec,
         ctx,
         spec.workers if workers is None else workers,
         **spec.engine.params,
     )
-    return ScenarioOutcome(spec=spec, stats=stats, result=result)
+    # Engines return (stats, result) — plus the merged flight recorder
+    # as an optional third element when the spec enables tracing.
+    stats, result = out[0], out[1]
+    trace = out[2] if len(out) > 2 else None
+    return ScenarioOutcome(spec=spec, stats=stats, result=result, trace=trace)
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,11 @@ NaN-free) summary that lands in campaign manifests and golden fixtures,
 ``result`` the engine's native aggregate (a
 :class:`~repro.types.LoadReport` or
 :class:`~repro.sim.batch.EventCampaign`) for callers that want more
-than the summary.  Both engines execute their trials through
+than the summary.  A spec with a ``trace:`` section makes the
+event-driven engine return a third element — the merged
+:class:`~repro.obs.trace.FlightRecorder` — which
+:func:`~repro.scenario.campaign.run_scenario` surfaces as
+``ScenarioOutcome.trace``.  Both engines execute their trials through
 :class:`repro.sim.parallel.ParallelExecutor` and are bit-identical
 across worker counts given the spec's explicit seed.
 
@@ -46,6 +50,22 @@ def _build_chaos(spec: ScenarioSpec, ctx: BuildContext):
     return build_component("chaos", spec.chaos, ctx, path="chaos")
 
 
+def _build_trace(spec: ScenarioSpec, ctx: BuildContext):
+    """The spec's ``trace:`` section as an enabled flight recorder.
+
+    The section resolves through the ``sampler`` namespace (its builder
+    returns a :class:`~repro.obs.trace.TraceConfig`); the recorder is
+    seeded with the spec seed so per-trial hash samplers are
+    reproducible across engines and worker counts.
+    """
+    if spec.trace is None:
+        return None
+    from ..obs.trace import FlightRecorder
+
+    config = build_component("sampler", spec.trace, ctx, path="trace")
+    return FlightRecorder(config, seed=spec.seed)
+
+
 def _require_model_component(
     spec: ComponentSpec, expected: str, path: str
 ) -> None:
@@ -73,6 +93,12 @@ def run_monte_carlo(
 
     _require_model_component(spec.cache, "perfect", "cache")
     _require_model_component(spec.partitioner, "random-table", "partitioner")
+    if spec.trace is not None:
+        raise ScenarioValidationError(
+            "trace: the monte-carlo engine has no per-request stream to "
+            "trace; request tracing needs 'engine: event-driven'",
+            path="trace",
+        )
     if spec.selection.params:
         raise ScenarioValidationError(
             "selection: the monte-carlo engine resolves selection by name "
@@ -135,6 +161,7 @@ def run_event_driven(
     selection = build_component(
         "selection", spec.selection, ctx, path="selection"
     )
+    recorder = _build_trace(spec, ctx)
     try:
         cluster = Cluster(
             params.n,
@@ -156,6 +183,7 @@ def run_event_driven(
             queue_limit=queue_limit,
             service=service,
             chaos=_build_chaos(spec, ctx),
+            trace=recorder,
             engine=kernel,
         )
     except ScenarioValidationError:
@@ -174,4 +202,15 @@ def run_event_driven(
         "failure_events": campaign.total_failure_events,
         "unavailable": campaign.total_unavailable,
     }
+    if recorder is not None:
+        # Conditional block: trace-less specs keep their stats (and the
+        # golden fixtures pinning them) byte-identical.
+        stats["trace"] = {
+            "seen": recorder.seen,
+            "sampled": recorder.sampled,
+            "evicted": recorder.evicted,
+            "alerts": len(recorder.alerts),
+            "suspects": recorder.suspects(),
+        }
+        return stats, campaign, recorder
     return stats, campaign

@@ -1,9 +1,9 @@
 """The component registry: every scenario dimension resolves by name.
 
-Eight namespaces mirror the scenario dimensions::
+Nine namespaces mirror the scenario dimensions::
 
     workload x cache x partitioner x selection x layer-selection
-             x adversary x chaos x engine
+             x adversary x chaos x sampler x engine
 
 Components self-register where they are defined via the
 :func:`register_component` decorator, so a new cache policy (or
@@ -46,6 +46,7 @@ NAMESPACES: Tuple[str, ...] = (
     "layer-selection",
     "adversary",
     "chaos",
+    "sampler",
     "engine",
 )
 
@@ -57,6 +58,7 @@ DISCOVER_MODULES: Tuple[str, ...] = (
     "repro.cluster",
     "repro.adversary",
     "repro.chaos",
+    "repro.obs.trace",
     "repro.scenario.engines",
 )
 

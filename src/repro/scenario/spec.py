@@ -2,8 +2,8 @@
 
 A *scenario* is one fully-specified experiment: the system under test
 plus one component choice per registry namespace (workload or adversary,
-cache, partitioner, selection, chaos, engine) and the campaign knobs
-(trials, queries, seed, workers).  A *campaign* is a base scenario plus
+cache, partitioner, selection, chaos, trace, engine) and the campaign
+knobs (trials, queries, seed, workers).  A *campaign* is a base scenario plus
 a sweep grid — dotted paths mapped to value lists — that expands into
 the cross product of concrete scenarios.
 
@@ -61,6 +61,7 @@ _SCENARIO_KEYS = frozenset(
         "partitioner",
         "selection",
         "chaos",
+        "trace",
         "engine",
         "trials",
         "queries",
@@ -287,6 +288,7 @@ class ScenarioSpec:
         default_factory=lambda: ComponentSpec("least-loaded")
     )
     chaos: Optional[ComponentSpec] = None
+    trace: Optional[ComponentSpec] = None
     engine: ComponentSpec = field(
         default_factory=lambda: ComponentSpec("monte-carlo")
     )
@@ -333,6 +335,7 @@ class ScenarioSpec:
                 mapping, "selection", path, default="least-loaded"
             ),
             "chaos": _component(mapping, "chaos", path),
+            "trace": _component(mapping, "trace", path),
             "engine": _component(mapping, "engine", path, default="monte-carlo"),
         }
         if "trials" in mapping:
@@ -367,6 +370,8 @@ class ScenarioSpec:
         data["selection"] = self.selection.to_data()
         if self.chaos is not None:
             data["chaos"] = self.chaos.to_data()
+        if self.trace is not None:
+            data["trace"] = self.trace.to_data()
         data["engine"] = self.engine.to_data()
         data["trials"] = self.trials
         data["queries"] = self.queries
@@ -383,6 +388,8 @@ class ScenarioSpec:
             "partitioner": self.partitioner,
             "selection": self.selection,
             "chaos": self.chaos,
+            # The trace section resolves through the sampler namespace.
+            "sampler": self.trace,
             "engine": self.engine,
         }
 
@@ -414,7 +421,7 @@ def _apply_override(data: dict, dotted: str, value: object, where: str) -> None:
         child = node.get(part)
         if isinstance(child, str) and part in (
             "workload", "adversary", "cache", "partitioner", "selection",
-            "chaos", "engine",
+            "chaos", "trace", "engine",
         ):
             # Bare-string component shorthand: expand so params can land.
             child = {"kind": child}

@@ -114,6 +114,7 @@ def _event_campaign_trial(
     simulator_kwargs: dict,
     metrics=None,
     monitor=None,
+    trace=None,
 ) -> EventSimResult:
     """One campaign trial (top-level, so process pools can pickle it).
 
@@ -129,10 +130,10 @@ def _event_campaign_trial(
     parallel), making results depend on the worker count.  Every trial
     therefore starts from the caller's initial state.
 
-    ``metrics`` / ``monitor`` are the per-trial registry and monitor the
-    executor provides when the campaign is instrumented; the simulator
-    publishes into them and the executor merges the snapshots in trial
-    order.
+    ``metrics`` / ``monitor`` / ``trace`` are the per-trial registry,
+    monitor and flight recorder the executor provides when the campaign
+    is instrumented; the simulator publishes into them and the executor
+    merges the snapshots in trial order.
     """
     del gen
     distribution = copy.deepcopy(distribution)
@@ -142,7 +143,7 @@ def _event_campaign_trial(
     cache = cache_factory() if cache_factory is not None else None
     sim = EventDrivenSimulator(
         params, distribution, cache=cache, seed=seed, metrics=metrics,
-        monitor=monitor, **simulator_kwargs
+        monitor=monitor, trace=trace, **simulator_kwargs
     )
     return sim.run(n_queries, trial=trial)
 
@@ -158,6 +159,7 @@ def run_event_campaign(
     metrics=None,
     tracer=None,
     monitor=None,
+    trace=None,
     **simulator_kwargs,
 ) -> EventCampaign:
     """Run ``trials`` independent event-driven replays and aggregate.
@@ -193,6 +195,13 @@ def run_event_campaign(
         merge back here strictly in trial order, so the event log is
         identical for every ``workers`` value.  The campaign emits the
         single manifest record up front.
+    trace:
+        Optional :class:`repro.obs.FlightRecorder`.  Each trial runs
+        under a fresh per-trial recorder built from ``trace.config`` and
+        the campaign seed (inside the worker when parallel); trace
+        records, suspects and attribution alerts merge back here
+        strictly in trial order, so the exported trace JSONL is
+        bit-identical for every ``workers`` value.
     simulator_kwargs:
         Forwarded to every :class:`EventDrivenSimulator` (routing,
         node_capacity, queue_limit, service, cluster...).
@@ -225,6 +234,7 @@ def run_event_campaign(
                     pass_trial=True,
                     metrics=metrics,
                     monitor=monitor,
+                    trace=trace,
                 )
         with tracer.span("aggregate"):
             gains = np.array(

@@ -170,6 +170,16 @@ class EventDrivenSimulator:
         sliding-window telemetry, the streaming gain estimate and
         alerts.  Like ``metrics``, ``None`` records nothing and leaves
         the run byte-identical to an unmonitored one.
+    trace:
+        Optional :class:`repro.obs.FlightRecorder`; each :meth:`run`
+        captures a causal trace record per hash-sampled request (key,
+        prefix bucket, client, replica group, node, cache-tree path,
+        queue wait, service time, chaos annotations) into the
+        recorder's bounded ring and feeds its streaming attack
+        attribution engine.  The sampler is keyed-hash based and draws
+        nothing from the engine RNG streams, so ``None`` (the default)
+        and tracing-on runs produce bit-identical results, metrics and
+        monitor telemetry.
     chaos:
         Optional :class:`repro.chaos.ChaosConfig`.  When set, each run
         replays a failure schedule (explicit, or synthesised per trial
@@ -206,6 +216,7 @@ class EventDrivenSimulator:
         metrics=None,
         tracer=None,
         monitor=None,
+        trace=None,
         chaos: Optional[ChaosConfig] = None,
         engine: str = "legacy",
     ) -> None:
@@ -249,6 +260,7 @@ class EventDrivenSimulator:
         self._metrics = metrics
         self._tracer = tracer
         self._monitor = monitor if monitor is not None and monitor.enabled else None
+        self._trace = trace if trace is not None and trace.enabled else None
         if chaos is not None and not isinstance(chaos, ChaosConfig):
             raise ConfigurationError(
                 f"chaos must be a ChaosConfig or None, got {type(chaos).__name__}"
@@ -402,6 +414,17 @@ class EventDrivenSimulator:
                 chaos=chaos is not None,
                 layers=tree.widths if layered else None,
             )
+        # The trace sampler is keyed-hash based (no RNG draws), so none
+        # of this perturbs the arrival/routing/service streams above.
+        recorder = self._trace
+        trace_mask = None
+        if recorder is not None:
+            recorder.begin_run(
+                trial=trial, m=params.m, chaos=chaos is not None,
+                client_map=self._distribution.client_map(),
+                group_of=self._cluster.replica_group,
+            )
+            trace_mask = recorder.sample_mask(keys)
 
         def make_failure_event(event):
             def fire(sched: EventScheduler, now: float) -> None:
@@ -428,6 +451,7 @@ class EventDrivenSimulator:
         def chaos_dispatch(
             sched: EventScheduler, now: float, key: int, t0: float,
             attempt: int, tried: Tuple[int, ...],
+            traced: bool = False, index: int = 0,
         ) -> None:
             policy = chaos.retry
             if attempt == 1:
@@ -446,7 +470,13 @@ class EventDrivenSimulator:
                 node_arrivals[node] += 1
                 if monitor is not None:
                     monitor.record_request(now, key, node)
-                servers[node].arrive(sched, Request(key=key, arrival_time=t0))
+                trace_rec = (
+                    recorder.record_backend(now, key, index, node, attempts=attempt)
+                    if traced else None
+                )
+                servers[node].arrive(
+                    sched, Request(key=key, arrival_time=t0, trace=trace_rec)
+                )
                 fetched_keys.add(key)
                 if attempt > 1:
                     chaos_stats["failovers"] += 1
@@ -461,14 +491,18 @@ class EventDrivenSimulator:
                     chaos_stats["stale_hits"] += 1
                 if monitor is not None:
                     monitor.record_unavailable(now, key)
+                if traced:
+                    recorder.record_unavailable(now, key, index, attempts=attempt)
                 return
             chaos_stats["retries"] += 1
             sched.schedule(
                 now + policy.delay(attempt),
-                lambda s, t: chaos_dispatch(s, t, key, t0, attempt + 1, tried),
+                lambda s, t: chaos_dispatch(
+                    s, t, key, t0, attempt + 1, tried, traced, index
+                ),
             )
 
-        def make_arrival(key: int, t: float):
+        def make_arrival(key: int, t: float, traced: bool = False, index: int = 0):
             def fire(sched: EventScheduler, now: float) -> None:
                 nonlocal frontend_hits, backend
                 if self._cache.access(int(key)):
@@ -481,16 +515,30 @@ class EventDrivenSimulator:
                             )
                         else:
                             monitor.record_request(now, int(key))
+                    if traced:
+                        if layered:
+                            layer, shard = self._cache.last_hit
+                            recorder.record_hit(
+                                now, int(key), index, layer=layer, shard=shard
+                            )
+                        else:
+                            recorder.record_hit(now, int(key), index)
                     return
                 backend += 1
                 if tracker is not None:
-                    chaos_dispatch(sched, now, int(key), now, 1, ())
+                    chaos_dispatch(sched, now, int(key), now, 1, (), traced, index)
                     return
                 node = self._route(int(key), servers, routing_gen)
                 node_arrivals[node] += 1
                 if monitor is not None:
                     monitor.record_request(now, int(key), node)
-                servers[node].arrive(sched, Request(key=int(key), arrival_time=now))
+                trace_rec = (
+                    recorder.record_backend(now, int(key), index, node)
+                    if traced else None
+                )
+                servers[node].arrive(
+                    sched, Request(key=int(key), arrival_time=now, trace=trace_rec)
+                )
 
             return fire
 
@@ -501,8 +549,19 @@ class EventDrivenSimulator:
                 # (the scheduler breaks ties by insertion order).
                 for event in schedule:
                     scheduler.schedule(float(event.time), make_failure_event(event))
-            for key, t in zip(keys.tolist(), times.tolist()):
-                scheduler.schedule(float(t), make_arrival(key, float(t)))
+            if trace_mask is None:
+                for key, t in zip(keys.tolist(), times.tolist()):
+                    scheduler.schedule(float(t), make_arrival(key, float(t)))
+            else:
+                for index, (key, t) in enumerate(
+                    zip(keys.tolist(), times.tolist())
+                ):
+                    scheduler.schedule(
+                        float(t),
+                        make_arrival(
+                            key, float(t), bool(trace_mask[index]), index
+                        ),
+                    )
             scheduler.run()
 
         with tracer.span("report"):
@@ -536,8 +595,19 @@ class EventDrivenSimulator:
                         chaos_stats["stale_hits"]
                     )
                     metrics.counter("chaos_crash_lost_total").inc(crash_lost)
+            suspects = None
+            attribution_alerts = None
+            if recorder is not None:
+                trace_summary = recorder.finalize(duration)
+                if trace_summary is not None:
+                    suspects = trace_summary["suspects"]
+                    attribution_alerts = trace_summary["alerts"]
             if monitor is not None:
-                monitor.finalize(duration)
+                monitor.finalize(
+                    duration,
+                    suspects=suspects,
+                    attribution_alerts=attribution_alerts,
+                )
         latency_mean, latency_p50, latency_p95, latency_p99 = _latency_stats(
             latencies
         )

@@ -37,7 +37,7 @@ queue depths), and chaos schedules (node state changes mid-run).
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -128,6 +128,7 @@ def _fifo_drain(
     service_times,
     queue_limit: int,
     sample_limit: int = DEFAULT_LATENCY_SAMPLE_LIMIT,
+    trace_out: Optional[List[Optional[Tuple[float, float]]]] = None,
 ) -> Tuple[int, int, List[float]]:
     """Single-server FIFO with a bounded queue, as scalar float math.
 
@@ -140,6 +141,13 @@ def _fifo_drain(
     because the scheduler fires arrivals (scheduled first) before
     completions at equal timestamps — hence the strict ``<`` when
     advancing the departed pointer.
+
+    ``trace_out`` (flight-recorder runs only) collects one entry per
+    arrival in order: ``(service_start, departure)`` for admitted
+    requests, ``None`` for drops.  ``start`` and ``dep`` here are the
+    same scalar float expressions :class:`~repro.sim.queueing.NodeServer`
+    evaluates, so traced ``wait``/``service`` match the legacy engine
+    bit-for-bit.
     """
     constant = isinstance(service_times, float)
     departures: List[float] = []
@@ -155,6 +163,8 @@ def _fifo_drain(
             departed += 1
         if admitted - departed >= in_system_cap:
             dropped += 1
+            if trace_out is not None:
+                trace_out.append(None)
             continue
         start = departures[admitted - 1] if admitted > departed else t
         service = service_times if constant else service_times[admitted]
@@ -163,6 +173,8 @@ def _fifo_drain(
         admitted += 1
         if len(latencies) < sample_limit:
             record(dep - t)
+        if trace_out is not None:
+            trace_out.append((start, dep))
     return admitted, dropped, latencies
 
 
@@ -190,6 +202,17 @@ def run_fast(sim, n_queries: int, trial: int):
     monitor = sim._monitor
     if monitor is not None:
         monitor.begin_run(trial=trial, n=n, rate=params.rate, chaos=False)
+    # Trace sampling is keyed-hash based: no RNG draws, so the arrival /
+    # routing / service streams above stay byte-identical with it on.
+    recorder = sim._trace
+    trace_mask = None
+    if recorder is not None:
+        recorder.begin_run(
+            trial=trial, m=params.m, chaos=False,
+            client_map=sim._distribution.client_map(),
+            group_of=sim._cluster.replica_group,
+        )
+        trace_mask = recorder.sample_mask(keys)
 
     with tracer.span("event-loop"):
         with tracer.span("kernel-resolve"):
@@ -223,6 +246,7 @@ def run_fast(sim, n_queries: int, trial: int):
             served = np.zeros(n, dtype=np.int64)
             dropped = np.zeros(n, dtype=np.int64)
             per_node_latencies: List[List[float]] = []
+            node_details: List[Optional[List]] = [None] * n
             if backend:
                 order = np.argsort(nodes, kind="stable")
                 sorted_times = miss_times[order]
@@ -243,13 +267,44 @@ def run_fast(sim, n_queries: int, trial: int):
                         ).tolist()
                     else:
                         service = mean_service
-                    node_served, node_dropped, latencies = _fifo_drain(
-                        sorted_times[lo:hi].tolist(), service, sim._queue_limit
+                    detail: Optional[List] = (
+                        [] if recorder is not None else None
                     )
+                    node_served, node_dropped, latencies = _fifo_drain(
+                        sorted_times[lo:hi].tolist(), service,
+                        sim._queue_limit, trace_out=detail,
+                    )
+                    node_details[node] = detail
                     served[node] = node_served
                     dropped[node] = node_dropped
                     if latencies:
                         per_node_latencies.append(latencies)
+        if recorder is not None:
+            with tracer.span("kernel-trace"):
+                # Replay only the sampled stream positions, in global
+                # arrival order — the same emission order the legacy
+                # scheduler produces.
+                if backend:
+                    miss_index = np.cumsum(miss_mask) - 1
+                    ranks = np.empty(backend, dtype=np.int64)
+                    ranks[order] = np.arange(backend, dtype=np.int64)
+                    local_ranks = ranks - bounds[nodes]
+                for i in np.flatnonzero(trace_mask).tolist():
+                    t = float(times[i])
+                    key = int(keys[i])
+                    if hit_mask[i]:
+                        recorder.record_hit(t, key, i)
+                        continue
+                    pos = int(miss_index[i])
+                    node = int(nodes[pos])
+                    rec = recorder.record_backend(t, key, i, node)
+                    detail = node_details[node][int(local_ranks[pos])]
+                    if detail is None:
+                        rec["status"] = "dropped"
+                    else:
+                        start, dep = detail
+                        rec["wait"] = start - t
+                        rec["service"] = dep - start
 
     with tracer.span("report"):
         total_served = int(served.sum())
@@ -272,8 +327,19 @@ def run_fast(sim, n_queries: int, trial: int):
                 n_queries, frontend_hits, backend,
                 node_arrivals, served, dropped, latencies_arr,
             )
+        suspects = None
+        attribution_alerts = None
+        if recorder is not None:
+            trace_summary = recorder.finalize(duration)
+            if trace_summary is not None:
+                suspects = trace_summary["suspects"]
+                attribution_alerts = trace_summary["alerts"]
         if monitor is not None:
-            monitor.finalize(duration)
+            monitor.finalize(
+                duration,
+                suspects=suspects,
+                attribution_alerts=attribution_alerts,
+            )
 
     latency_mean, latency_p50, latency_p95, latency_p99 = _latency_stats(
         latencies_arr

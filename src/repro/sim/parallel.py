@@ -40,6 +40,7 @@ import numpy as np
 from ..exceptions import SimulationError
 from ..obs.metrics import MetricsRegistry
 from ..obs.monitor import LoadMonitor, MonitorConfig
+from ..obs.trace import FlightRecorder, TraceConfig
 from ..rng import RngFactory
 
 __all__ = ["ParallelExecutor", "resolve_workers", "resolve_seed"]
@@ -83,6 +84,7 @@ def _run_chunk(
     kwargs: Mapping[str, Any],
     collect_metrics: bool = False,
     monitor_config: Optional[MonitorConfig] = None,
+    trace_config: Optional[TraceConfig] = None,
 ) -> List[Any]:
     """Run a contiguous block of trials (top-level: spawn-picklable).
 
@@ -94,27 +96,37 @@ def _run_chunk(
     :class:`~repro.obs.metrics.MetricsRegistry` per trial as a
     ``metrics=`` keyword; with ``monitor_config`` it likewise receives a
     fresh :class:`~repro.obs.monitor.LoadMonitor` (publishing into that
-    same per-trial registry) as a ``monitor=`` keyword.  When either
-    collection is active, each entry of the returned list becomes
-    ``(result, registry_snapshot_or_None, monitor_snapshot_or_None)``;
-    the caller merges snapshots in trial order, which is what makes
-    aggregate metrics *and* monitor output identical across worker
+    same per-trial registry) as a ``monitor=`` keyword; with
+    ``trace_config`` it receives a fresh
+    :class:`~repro.obs.trace.FlightRecorder` (seeded with the campaign
+    seed, so its per-trial hash samplers match the serial loop's) as a
+    ``trace=`` keyword.  When any collection is active, each entry of
+    the returned list becomes ``(result, registry_snapshot_or_None,
+    monitor_snapshot_or_None, trace_snapshot_or_None)``; the caller
+    merges snapshots in trial order, which is what makes aggregate
+    metrics, monitor output *and* trace output identical across worker
     counts.
     """
     factory = RngFactory(seed)
-    collect = collect_metrics or monitor_config is not None
+    collect = (
+        collect_metrics or monitor_config is not None or trace_config is not None
+    )
     results = []
     for t in trial_indices:
         gen = factory.generator(label, trial=t)
         call_kwargs = dict(kwargs)
         registry = None
         monitor = None
+        recorder = None
         if collect_metrics:
             registry = MetricsRegistry()
             call_kwargs["metrics"] = registry
         if monitor_config is not None:
             monitor = LoadMonitor(monitor_config, metrics=registry)
             call_kwargs["monitor"] = monitor
+        if trace_config is not None:
+            recorder = FlightRecorder(trace_config, seed=seed)
+            call_kwargs["trace"] = recorder
         if pass_trial:
             outcome = task(gen, t, *args, **call_kwargs)
         else:
@@ -125,6 +137,7 @@ def _run_chunk(
                     outcome,
                     registry.snapshot() if registry is not None else None,
                     monitor.snapshot() if monitor is not None else None,
+                    recorder.snapshot() if recorder is not None else None,
                 )
             )
         else:
@@ -221,6 +234,7 @@ class ParallelExecutor:
         pass_trial: bool = False,
         metrics: Optional[MetricsRegistry] = None,
         monitor: Optional[LoadMonitor] = None,
+        trace: Optional[FlightRecorder] = None,
     ) -> List[Any]:
         """Run ``task`` once per trial; results come back in trial order.
 
@@ -245,6 +259,17 @@ class ParallelExecutor:
         snapshots merge back via :meth:`LoadMonitor.merge_trial` — again
         strictly in trial order, so event logs and alert streams are
         identical for every worker count.
+
+        With ``trace`` set (an enabled
+        :class:`~repro.obs.trace.FlightRecorder`), the task must accept
+        a ``trace=`` keyword: each trial feeds a fresh per-trial
+        recorder built from ``trace.config`` and the campaign seed
+        inside the worker (hash samplers are keyed on ``(seed, trial)``,
+        so they admit exactly the requests the serial loop would), and
+        recorder snapshots merge back via
+        :meth:`FlightRecorder.merge_trial` in trial order — the trace
+        JSONL and suspects blocks are bit-identical for every worker
+        count.
         """
         if trials < 1:
             raise SimulationError(f"need at least one trial, got {trials}")
@@ -255,15 +280,17 @@ class ParallelExecutor:
         collect_metrics = metrics is not None and metrics.enabled
         collect_monitor = monitor is not None and monitor.enabled
         monitor_config = monitor.config if collect_monitor else None
-        collect = collect_metrics or collect_monitor
+        collect_trace = trace is not None and trace.enabled
+        trace_config = trace.config if collect_trace else None
+        collect = collect_metrics or collect_monitor or collect_trace
         if self._workers == 1 or trials == 1:
             results = _run_chunk(
                 task, seed, label, range(trials), pass_trial, args, kwargs,
-                collect_metrics, monitor_config,
+                collect_metrics, monitor_config, trace_config,
             )
         else:
             try:
-                pickle.dumps((task, args, kwargs, monitor_config))
+                pickle.dumps((task, args, kwargs, monitor_config, trace_config))
             except Exception as exc:
                 raise SimulationError(
                     "parallel execution requires the task and its arguments to be "
@@ -274,7 +301,7 @@ class ParallelExecutor:
             futures = [
                 pool.submit(
                     _run_chunk, task, seed, label, list(chunk), pass_trial,
-                    args, kwargs, collect_metrics, monitor_config,
+                    args, kwargs, collect_metrics, monitor_config, trace_config,
                 )
                 for chunk in self._chunks(trials)
             ]
@@ -284,10 +311,12 @@ class ParallelExecutor:
         if not collect:
             return results
         unwrapped: List[Any] = []
-        for outcome, metrics_snapshot, monitor_snapshot in results:
+        for outcome, metrics_snapshot, monitor_snapshot, trace_snapshot in results:
             if metrics_snapshot is not None:
                 metrics.merge_snapshot(metrics_snapshot)
             if monitor_snapshot is not None:
                 monitor.merge_trial(monitor_snapshot)
+            if trace_snapshot is not None:
+                trace.merge_trial(trace_snapshot)
             unwrapped.append(outcome)
         return unwrapped

@@ -122,12 +122,16 @@ class NodeServer:
         self.arrivals += 1
         if self.down:
             self.dropped += 1
+            if request.trace is not None:
+                request.trace["status"] = "dropped"
             return False
         if self._in_service is None:
             self._begin_service(scheduler, request, scheduler.now)
             return True
         if len(self._queue) >= self.queue_limit:
             self.dropped += 1
+            if request.trace is not None:
+                request.trace["status"] = "dropped"
             return False
         self._queue.append(request)
         return True
@@ -141,9 +145,14 @@ class NodeServer:
         """
         self._epoch += 1
         lost = len(self._queue)
+        for request in self._queue:
+            if request.trace is not None:
+                request.trace["status"] = "lost"
         self._queue.clear()
         if self._in_service is not None:
             lost += 1
+            if self._in_service.trace is not None:
+                self._in_service.trace["status"] = "lost"
             self.busy_time += now - self._service_started
             self._in_service = None
         self.dropped += lost
@@ -196,6 +205,11 @@ class NodeServer:
         self._in_service = None
         self.served += 1
         self.busy_time += time - self._service_started
+        if request.trace is not None:
+            # Same scalar float expressions as the batched kernel's FIFO
+            # recurrence, so traced wait/service match bit-for-bit.
+            request.trace["wait"] = self._service_started - request.arrival_time
+            request.trace["service"] = time - self._service_started
         if len(self.latencies) < self._latency_sample_limit:
             self.latencies.append(time - request.arrival_time)
         if self._queue:

@@ -2,12 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["Request"]
 
 
-@dataclass(frozen=True)
 class Request:
     """One client query as seen by the back end.
 
@@ -17,9 +16,21 @@ class Request:
         Queried key.
     arrival_time:
         When the query reached the system (seconds since trial start).
+    trace:
+        Live causal-trace record (:mod:`repro.obs.trace`) for sampled
+        requests, or ``None``.  The queue layer completes it in place
+        (``wait`` / ``service``, or a terminal ``status``) when the
+        request's fate is known.
     """
 
-    __slots__ = ("key", "arrival_time")
+    __slots__ = ("key", "arrival_time", "trace")
 
-    key: int
-    arrival_time: float
+    def __init__(
+        self, key: int, arrival_time: float, trace: Optional[dict] = None
+    ) -> None:
+        self.key = key
+        self.arrival_time = arrival_time
+        self.trace = trace
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Request(key={self.key!r}, arrival_time={self.arrival_time!r})"

@@ -33,15 +33,27 @@ class AdversarialDistribution(KeyDistribution):
         Number of keys the adversary queries.  To bypass a cache of size
         ``c`` the adversary picks ``x > c``; :meth:`optimal_for` chooses
         the bound-optimal ``x`` automatically.
+    client_id:
+        Ground-truth attribution tag (see
+        :meth:`~repro.workload.distributions.KeyDistribution.client_map`).
+        ``0`` (the default) declares nothing; a positive id marks the
+        flooded prefix as this attacker's keys so trace records carry
+        the true culprit.  Stealth mixtures rely on this to label only
+        the adversarial component of blended traffic.
     """
 
     name = "adversarial"
 
-    def __init__(self, m: int, x: int) -> None:
+    def __init__(self, m: int, x: int, client_id: int = 0) -> None:
         super().__init__(m)
         if not 1 <= x <= m:
             raise DistributionError(f"need 1 <= x <= m, got x={x}, m={m}")
+        if client_id < 0:
+            raise DistributionError(
+                f"client_id must be non-negative, got {client_id}"
+            )
         self._x = x
+        self._client_id = int(client_id)
 
     @classmethod
     def optimal_for(
@@ -58,6 +70,18 @@ class AdversarialDistribution(KeyDistribution):
     def x(self) -> int:
         """Number of keys queried."""
         return self._x
+
+    @property
+    def client_id(self) -> int:
+        """Ground-truth attribution tag (0 = undeclared)."""
+        return self._client_id
+
+    def client_map(self):
+        if self._client_id == 0:
+            return None
+        ids = np.zeros(self._m, dtype=np.int64)
+        ids[: self._x] = self._client_id
+        return ids
 
     def probabilities(self) -> np.ndarray:
         probs = np.zeros(self._m)

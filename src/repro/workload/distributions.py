@@ -93,6 +93,19 @@ class KeyDistribution(ABC):
             raise DistributionError(f"total_rate must be non-negative, got {total_rate}")
         return self.probabilities() * total_rate
 
+    def client_map(self) -> Optional[np.ndarray]:
+        """Per-key ground-truth client ids for attack attribution.
+
+        ``None`` (the default) means unattributed: the flight recorder
+        (:mod:`repro.obs.trace`) tags every record with client 0.
+        Adversarial workloads override this with a length-``m`` integer
+        vector — 0 for background traffic, positive ids for attacker
+        streams — giving attribution precision/recall checks a ground
+        truth to score against.  Purely key-derived (no RNG), so it is
+        identical across trials, engines and worker counts.
+        """
+        return None
+
     def top_keys(self, c: int) -> np.ndarray:
         """The ``c`` most popular keys (stable tie-break by key id)."""
         if c < 0:

@@ -11,7 +11,7 @@ a single ``integers`` draw per query like the other uniform patterns.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -25,11 +25,18 @@ __all__ = ["KeySetDistribution"]
 
 @register_component("workload", "key-set", example={"keys": [0, 1, 2]})
 class KeySetDistribution(KeyDistribution):
-    """Uniform over an explicit set of keys out of ``0 .. m-1``."""
+    """Uniform over an explicit set of keys out of ``0 .. m-1``.
+
+    ``client_id`` (attribution ground truth) marks every key in the set
+    as belonging to one logical client: adversaries that build key-set
+    floods set a positive id, so the flight recorder's suspects block
+    can be scored against the real attacker (see
+    :meth:`~repro.workload.distributions.KeyDistribution.client_map`).
+    """
 
     name = "key-set"
 
-    def __init__(self, m: int, keys: Sequence[int]) -> None:
+    def __init__(self, m: int, keys: Sequence[int], client_id: int = 0) -> None:
         super().__init__(m)
         keys = np.unique(np.asarray(list(keys), dtype=np.int64))
         if keys.size == 0:
@@ -39,7 +46,12 @@ class KeySetDistribution(KeyDistribution):
                 f"keys must lie in [0, m={m}), got range "
                 f"[{int(keys.min())}, {int(keys.max())}]"
             )
+        if client_id < 0:
+            raise DistributionError(
+                f"client_id must be non-negative, got {client_id}"
+            )
         self._keys = keys
+        self._client_id = int(client_id)
 
     @property
     def keys(self) -> np.ndarray:
@@ -50,6 +62,18 @@ class KeySetDistribution(KeyDistribution):
     def x(self) -> int:
         """Number of distinct keys queried (the attack width)."""
         return int(self._keys.size)
+
+    @property
+    def client_id(self) -> int:
+        """Ground-truth client id of this key set (0 = background)."""
+        return self._client_id
+
+    def client_map(self) -> Optional[np.ndarray]:
+        if self._client_id == 0:
+            return None
+        ids = np.zeros(self._m, dtype=np.int64)
+        ids[self._keys] = self._client_id
+        return ids
 
     def probabilities(self) -> np.ndarray:
         probs = np.zeros(self._m)

@@ -112,6 +112,22 @@ class MixtureDistribution(KeyDistribution):
         """The component distributions."""
         return self._components
 
+    def client_map(self):
+        """Element-wise max of the component maps (attacker ids win).
+
+        Adversarial components claim their keys with positive client
+        ids; a key shared with the benign base keeps the attacker id —
+        the pessimistic convention an attribution ground truth wants.
+        ``None`` when no component declares clients.
+        """
+        merged = None
+        for dist in self._components:
+            ids = dist.client_map()
+            if ids is None:
+                continue
+            merged = ids.copy() if merged is None else np.maximum(merged, ids)
+        return merged
+
     def probabilities(self) -> np.ndarray:
         probs = np.zeros(self._m)
         for weight, dist in zip(self._weights, self._components):

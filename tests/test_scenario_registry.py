@@ -130,6 +130,7 @@ class TestCompleteness:
             "layer-selection": 2,
             "adversary": 8,
             "chaos": 1,
+            "sampler": 2,
             "engine": 2,
         }
         assert set(floor) == set(NAMESPACES)
